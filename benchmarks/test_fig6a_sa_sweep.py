@@ -1,0 +1,92 @@
+"""Paper Fig. 6(a): fps vs search-area size (1 RF, 1080p).
+
+Paper-reported shape (ICPP'14, §IV):
+
+- fps drops steeply between successive SA sizes (ME load quadruples);
+- real-time (≥25 fps) at 32×32/1 RF on both GPUs and on every CPU+GPU
+  system;
+- SysHK stays real-time even at 64×64 — "not attainable with the
+  state-of-the-art approaches";
+- every heterogeneous system beats its constituent devices at every SA.
+"""
+
+import pytest
+
+from conftest import FIG6_CONFIGS, encode_fps
+from repro.report import format_table
+
+SA_SIDES = (32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def fig6a_data():
+    return {
+        name: {sa: encode_fps(name, sa_side=sa) for sa in SA_SIDES}
+        for name in FIG6_CONFIGS
+    }
+
+
+def test_fig6a_table(fig6a_data, emit, benchmark):
+    benchmark.pedantic(
+        encode_fps, args=("SysHK",), kwargs={"sa_side": 32}, rounds=2, iterations=1
+    )
+    rows = [
+        [name] + [f"{fig6a_data[name][sa]:.1f}" for sa in SA_SIDES]
+        for name in FIG6_CONFIGS
+    ]
+    emit(
+        "fig6a_sa_sweep",
+        format_table(
+            ["config"] + [f"{sa}x{sa}" for sa in SA_SIDES],
+            rows,
+            title="Fig 6(a): fps vs search-area size, 1 RF, 1080p "
+            "(paper: real-time at 32x32 on GPUs+systems, 64x64 on SysHK)",
+        ),
+    )
+
+
+def test_fps_decreases_with_sa(fig6a_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in FIG6_CONFIGS:
+        series = [fig6a_data[name][sa] for sa in SA_SIDES]
+        assert series == sorted(series, reverse=True)
+        # ME quadruples per step: fps must fall by >2x each step at the
+        # largest sizes where ME dominates.
+        assert series[2] / series[3] > 2.0
+
+
+def test_realtime_claims(fig6a_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    at32 = {n: fig6a_data[n][32] for n in FIG6_CONFIGS}
+    # both GPUs and all systems real-time at 32x32 / 1 RF.
+    for name in ("GPU_F", "GPU_K", "SysNF", "SysNFF", "SysHK"):
+        assert at32[name] >= 25.0, f"{name} not real-time at 32x32"
+    # CPUs alone are not.
+    assert at32["CPU_N"] < 25.0 and at32["CPU_H"] < 25.0
+    # SysHK is the only configuration real-time at 64x64.
+    at64 = {n: fig6a_data[n][64] for n in FIG6_CONFIGS}
+    assert at64["SysHK"] >= 25.0
+    for name in FIG6_CONFIGS:
+        if name != "SysHK":
+            assert at64[name] < 25.0, f"only SysHK should be real-time at 64"
+
+
+def test_systems_beat_components(fig6a_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pairs = {
+        "SysNF": ("CPU_N", "GPU_F"),
+        "SysNFF": ("CPU_N", "GPU_F"),
+        "SysHK": ("CPU_H", "GPU_K"),
+    }
+    for sys_name, (cpu, gpu) in pairs.items():
+        for sa in SA_SIDES:
+            assert fig6a_data[sys_name][sa] > fig6a_data[gpu][sa]
+            assert fig6a_data[sys_name][sa] > fig6a_data[cpu][sa]
+
+
+def test_device_generation_ratios(fig6a_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sa in SA_SIDES:
+        d = fig6a_data
+        assert 1.4 <= d["CPU_H"][sa] / d["CPU_N"][sa] <= 2.0   # paper ~1.7
+        assert 1.6 <= d["GPU_K"][sa] / d["GPU_F"][sa] <= 2.4   # paper ~2

@@ -1,0 +1,76 @@
+"""Paper Fig. 6(b): fps vs number of reference frames (32×32 SA, 1080p).
+
+Paper-reported shape:
+
+- fps decays roughly hyperbolically with the RF count (ME ∝ RFs, the other
+  modules constant);
+- real-time on all CPU+GPU systems with multiple RFs — up to 4 RFs on
+  SysHK, "outperforming the execution on both SysNFF and SysNF".
+"""
+
+import pytest
+
+from conftest import FIG6_CONFIGS, encode_fps
+from repro.report import format_table
+
+RF_COUNTS = tuple(range(1, 9))
+
+
+@pytest.fixture(scope="module")
+def fig6b_data():
+    return {
+        name: {rf: encode_fps(name, num_refs=rf, n_frames=rf + 12) for rf in RF_COUNTS}
+        for name in FIG6_CONFIGS
+    }
+
+
+def test_fig6b_table(fig6b_data, emit, benchmark):
+    benchmark.pedantic(
+        encode_fps, args=("SysHK",), kwargs={"num_refs": 4}, rounds=2, iterations=1
+    )
+    rows = [
+        [name] + [f"{fig6b_data[name][rf]:.1f}" for rf in RF_COUNTS]
+        for name in FIG6_CONFIGS
+    ]
+    emit(
+        "fig6b_rf_sweep",
+        format_table(
+            ["config"] + [f"{rf}RF" for rf in RF_COUNTS],
+            rows,
+            title="Fig 6(b): fps vs number of RFs, 32x32 SA, 1080p "
+            "(paper: real-time up to 4 RFs on SysHK)",
+        ),
+    )
+
+
+def test_fps_monotone_in_refs(fig6b_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in FIG6_CONFIGS:
+        series = [fig6b_data[name][rf] for rf in RF_COUNTS]
+        assert series == sorted(series, reverse=True)
+
+
+def test_realtime_up_to_4rf_on_syshk(fig6b_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for rf in (1, 2, 3, 4):
+        assert fig6b_data["SysHK"][rf] >= 25.0, f"SysHK should be real-time at {rf} RF"
+    assert fig6b_data["SysHK"][5] < 25.0  # Fig. 7(b): the 5-RF curve is above 40 ms
+
+
+def test_syshk_outperforms_other_systems(fig6b_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for rf in RF_COUNTS:
+        assert fig6b_data["SysHK"][rf] > fig6b_data["SysNFF"][rf]
+        assert fig6b_data["SysNFF"][rf] > fig6b_data["SysNF"][rf]
+
+
+def test_hyperbolic_decay(fig6b_data, benchmark):
+    """time/frame ≈ a + b·RF: the per-RF increment must be near-constant."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    import numpy as np
+
+    for name in FIG6_CONFIGS:
+        times = np.array([1.0 / fig6b_data[name][rf] for rf in RF_COUNTS])
+        increments = np.diff(times)
+        assert increments.min() > 0
+        assert increments.max() / increments.min() < 1.8

@@ -1,0 +1,101 @@
+"""Kernel microbenchmarks: wall-clock throughput of the NumPy codec kernels.
+
+Not a paper figure — the simulator supplies the *modelled* device speeds —
+but the practical numbers a contributor watches when optimizing the
+vectorized kernels (and the reason real mode is kept to small geometries).
+Uses pytest-benchmark's statistics properly: each kernel is timed on a CIF
+(352×288) workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.codec.deblock import BlockInfo, deblock_plane
+from repro.codec.interpolation import interpolate_plane
+from repro.codec.me import motion_estimate_rows
+from repro.codec.residual import code_luma_plane
+from repro.codec.sme import subpel_refine_rows
+from repro.video.generator import SyntheticSequence
+
+W, H = 352, 288
+CFG = CodecConfig(width=W, height=H, search_range=8, num_ref_frames=1)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    seq = SyntheticSequence(width=W, height=H, seed=5, noise_sigma=1.5)
+    return seq.frame(0), seq.frame(1)
+
+
+def _mpps(benchmark, pixels: int) -> None:
+    """Attach a megapixels/s metric to the benchmark stats."""
+    benchmark.extra_info["mpixel_per_s"] = pixels / 1e6 / benchmark.stats["mean"]
+
+
+def test_kernel_me_fsbm(benchmark, frames):
+    ref, cur = frames
+    result = benchmark(
+        motion_estimate_rows, cur.y, [ref.y], 0, CFG.mb_rows, CFG
+    )
+    assert result.nrows == CFG.mb_rows
+    _mpps(benchmark, W * H)
+
+
+def test_kernel_interpolation(benchmark, frames):
+    ref, _ = frames
+    sf = benchmark(interpolate_plane, ref.y)
+    assert sf.shape == (4 * H, 4 * W)
+    _mpps(benchmark, W * H)
+
+
+def test_kernel_sme(benchmark, frames):
+    ref, cur = frames
+    me = motion_estimate_rows(cur.y, [ref.y], 0, CFG.mb_rows, CFG)
+    sf = interpolate_plane(ref.y)
+    result = benchmark(
+        subpel_refine_rows, cur.y, [sf], me, 0, CFG.mb_rows, CFG
+    )
+    assert result.nrows == CFG.mb_rows
+    _mpps(benchmark, W * H)
+
+
+def test_kernel_tq(benchmark, frames):
+    ref, cur = frames
+    residual = cur.y.astype(np.int64) - ref.y.astype(np.int64)
+    coded = benchmark(code_luma_plane, residual, 28, False)
+    assert coded.levels.shape[0] == (H // 4) * (W // 4)
+    _mpps(benchmark, W * H)
+
+
+def test_kernel_deblock(benchmark, frames):
+    ref, _ = frames
+    rng = np.random.default_rng(0)
+    info = BlockInfo(
+        mv=rng.integers(-8, 9, (H // 4, W // 4, 2)).astype(np.int32),
+        ref=np.zeros((H // 4, W // 4), dtype=np.int32),
+        cnz=rng.random((H // 4, W // 4)) < 0.4,
+        intra=np.zeros((H // 4, W // 4), dtype=bool),
+    )
+    out = benchmark(deblock_plane, ref.y, info, 36)
+    assert out.shape == ref.y.shape
+    _mpps(benchmark, W * H)
+
+
+def test_kernel_relative_costs(frames):
+    """Sanity: FSBM dominates, matching the paper's 90 % ME+INT+SME split."""
+    import time
+
+    ref, cur = frames
+
+    def clock(fn, *args):
+        t0 = time.perf_counter()
+        fn(*args)
+        return time.perf_counter() - t0
+
+    t_me = clock(motion_estimate_rows, cur.y, [ref.y], 0, CFG.mb_rows, CFG)
+    t_int = clock(interpolate_plane, ref.y)
+    residual = cur.y.astype(np.int64) - ref.y.astype(np.int64)
+    t_tq = clock(code_luma_plane, residual, 28, False)
+    assert t_me > t_int
+    assert t_me > t_tq

@@ -1,0 +1,92 @@
+"""Robustness ablation: device parking on hostile platforms.
+
+Extension experiment (DESIGN.md → device parking): on a platform with an
+accelerator behind a nearly dead interconnect, the paper's
+always-participating data management collapses — the SF-mirror maintenance
+of the useless device dominates τ1. The activity-subset LP detects this and
+parks the device, recovering CPU-only throughput. On healthy platforms the
+parking machinery must be a no-op.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.device import DeviceSpec
+from repro.hw.interconnect import LinkSpec
+from repro.hw.presets import CPU_N, GPU_K, get_platform
+from repro.hw.topology import Platform
+from repro.report import format_table
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+def dead_link_platform() -> Platform:
+    gpu = DeviceSpec(
+        name="farGPU",
+        kind="gpu",
+        rates=GPU_K.rates,  # a fast GPU...
+        link=LinkSpec(h2d_gbps=0.05, d2h_gbps=0.05, latency_s=1e-3),  # ...marooned
+    )
+    return Platform(name="deadlink", specs=[gpu, CPU_N])
+
+
+def fps(platform: Platform, parking: bool) -> float:
+    fw = FevesFramework(
+        platform, CFG,
+        FrameworkConfig(centric="cpu", enable_parking=parking),
+    )
+    fw.run_model(12)
+    return fw.steady_state_fps(warmup=4)
+
+
+@pytest.fixture(scope="module")
+def results():
+    cpu_only = FevesFramework(get_platform("CPU_N"), CFG, FrameworkConfig())
+    cpu_only.run_model(12)
+    return {
+        "CPU_N alone": cpu_only.steady_state_fps(),
+        "dead-link GPU, parking ON": fps(dead_link_platform(), True),
+        "dead-link GPU, parking OFF": fps(dead_link_platform(), False),
+    }
+
+
+def test_robustness_table(results, emit, benchmark):
+    benchmark.pedantic(fps, args=(dead_link_platform(), True), rounds=2,
+                       iterations=1)
+    emit(
+        "ablation_parking",
+        format_table(
+            ["configuration", "fps"],
+            [[k, f"{v:.1f}"] for k, v in results.items()],
+            title="Robustness: fast GPU behind a 0.05 GB/s link (1080p)",
+        ),
+    )
+
+
+def test_parking_recovers_cpu_throughput(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results["dead-link GPU, parking ON"] == pytest.approx(
+        results["CPU_N alone"], rel=0.03
+    )
+
+
+def test_without_parking_collapse(results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results["dead-link GPU, parking OFF"] < 0.3 * results["CPU_N alone"]
+
+
+def test_parking_noop_on_healthy_platforms(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in ("SysNF", "SysNFF", "SysHK"):
+        on = FevesFramework(get_platform(name), CFG,
+                            FrameworkConfig(enable_parking=True))
+        on.run_model(10)
+        off = FevesFramework(get_platform(name), CFG,
+                             FrameworkConfig(enable_parking=False))
+        off.run_model(10)
+        assert on.steady_state_fps() == pytest.approx(
+            off.steady_state_fps(), rel=0.02
+        ), name

@@ -1,0 +1,88 @@
+"""Multi-GPU scalability (extension of the paper's SysNF→SysNFF step).
+
+The paper's §II criticizes single-module offloading because "only one GPU
+device can be efficiently employed"; FEVES's whole-loop distribution is
+claimed to scale. This bench sweeps 1–4 identical GPU_F accelerators
+(+CPU_N) and checks near-linear scaling until the non-distributable parts
+(R*, transfers, SME sync) start to bite — a classic Amdahl curve.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import multi_gpu_platform
+from repro.report import format_table
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+GPU_COUNTS = (1, 2, 3, 4)
+
+
+def fps_with_gpus(n_gpus: int, sa: int = 32) -> float:
+    cfg = CodecConfig(
+        width=1920, height=1088, search_range=sa // 2, num_ref_frames=1
+    )
+    fw = FevesFramework(multi_gpu_platform(n_gpus), cfg, FrameworkConfig())
+    fw.run_model(12)
+    return fw.steady_state_fps()
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return {
+        sa: {n: fps_with_gpus(n, sa) for n in GPU_COUNTS} for sa in (32, 64)
+    }
+
+
+def test_scalability_table(scaling, emit, benchmark):
+    benchmark.pedantic(fps_with_gpus, args=(2,), rounds=2, iterations=1)
+    rows = []
+    for sa, by_n in scaling.items():
+        base = by_n[1]
+        rows += [
+            [f"{sa}x{sa}", n, f"{fps:.1f}", f"{fps / base:.2f}x"]
+            for n, fps in by_n.items()
+        ]
+    emit(
+        "scalability",
+        format_table(
+            ["SA", "GPUs (+CPU_N)", "fps", "vs 1 GPU"],
+            rows,
+            title="Multi-GPU scaling of FEVES (1080p, GPU_F class)",
+        ),
+    )
+
+
+def test_monotone_scaling(scaling, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sa, by_n in scaling.items():
+        fps = [by_n[n] for n in GPU_COUNTS]
+        assert fps == sorted(fps)
+
+
+def test_second_gpu_near_linear(scaling, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sa in (32, 64):
+        ratio = scaling[sa][2] / scaling[sa][1]
+        assert ratio > 1.35  # 2nd GPU must contribute substantially
+
+
+def test_amdahl_saturation(scaling, benchmark):
+    """Marginal gains shrink with every added GPU (non-distributable R*,
+    synchronization and transfer floor)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for sa in (32, 64):
+        by_n = scaling[sa]
+        gains = [by_n[n + 1] / by_n[n] for n in (1, 2, 3)]
+        assert gains[0] > gains[1] > 0.99
+        assert gains[1] >= gains[2] * 0.98
+
+
+def test_larger_sa_scales_better(scaling, benchmark):
+    """At 64×64 the distributable ME dominates more ⇒ better scaling."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    s32 = scaling[32][4] / scaling[32][1]
+    s64 = scaling[64][4] / scaling[64][1]
+    assert s64 > s32

@@ -1,0 +1,110 @@
+"""Slice experiment: should the paper have parallelized R*?
+
+FEVES maps the whole R* block (MC+TQ+TQ⁻¹+DBL) to one device because DBL's
+neighbour dependencies prevent splitting it. H.264 slices remove those
+dependencies (at a compression cost). This bench runs the counterfactual:
+
+1. throughput of slice-parallel R* vs single-device R* on each system;
+2. the bitrate cost of the slice restrictions (real compute, small frames).
+
+Findings (asserted): parallelizing R* only pays when no single device
+dominates (SysNFF's identical GPUs); with a dominant accelerator (SysHK)
+the extra transfers and the slowest-slice straggler make it a loss — and
+either way the gain is bounded by R*'s ~10 % share. The paper's
+single-device choice is sound for its platforms.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+from repro.report import format_table
+
+BASE = dict(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+def fps(platform: str, parallel_rstar: bool) -> float:
+    if parallel_rstar:
+        cfg = CodecConfig(**BASE, num_slices=4, deblock_across_slices=False)
+        fw_cfg = FrameworkConfig(rstar_parallel=True)
+    else:
+        cfg = CodecConfig(**BASE)
+        fw_cfg = FrameworkConfig()
+    fw = FevesFramework(get_platform(platform), cfg, fw_cfg)
+    fw.run_model(12)
+    return fw.steady_state_fps()
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    return {
+        plat: {
+            "single": fps(plat, False),
+            "sliced": fps(plat, True),
+        }
+        for plat in ("SysNF", "SysNFF", "SysHK")
+    }
+
+
+@pytest.fixture(scope="module")
+def rate_cost():
+    from repro.codec.encoder import ReferenceEncoder
+    from repro.video.generator import SyntheticSequence
+
+    clip = SyntheticSequence(width=128, height=96, seed=3,
+                             noise_sigma=1.5).frames(5)
+    bits = {}
+    for n, across in ((1, True), (4, False)):
+        cfg = CodecConfig(width=128, height=96, search_range=8,
+                          num_slices=n, deblock_across_slices=across)
+        out = ReferenceEncoder(cfg).encode_sequence(clip)
+        bits[n] = sum(f.bits for f in out)
+    return bits
+
+
+def test_slice_table(throughput, rate_cost, emit, benchmark):
+    benchmark.pedantic(fps, args=("SysNFF", True), rounds=2, iterations=1)
+    rows = [
+        [plat, f"{v['single']:.1f}", f"{v['sliced']:.1f}",
+         f"{v['sliced'] / v['single'] - 1:+.1%}"]
+        for plat, v in throughput.items()
+    ]
+    overhead = rate_cost[4] / rate_cost[1] - 1
+    rows.append(["bitstream cost (4 slices)", "-", "-", f"{overhead:+.1%}"])
+    emit(
+        "ablation_slice_rstar",
+        format_table(
+            ["platform", "single-device R* fps", "slice-parallel R* fps",
+             "delta"],
+            rows,
+            title="Counterfactual: slice-parallel R* (4 slices, "
+            "no cross-slice DBL) vs the paper's single-device mapping",
+        ),
+    )
+
+
+def test_parallel_rstar_helps_balanced_systems(throughput, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert throughput["SysNFF"]["sliced"] > throughput["SysNFF"]["single"]
+
+
+def test_parallel_rstar_hurts_dominant_gpu(throughput, benchmark):
+    """With one fast GPU the slowest slice + extra transfers lose."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert throughput["SysHK"]["sliced"] <= throughput["SysHK"]["single"]
+
+
+def test_gain_bounded_by_rstar_share(throughput, benchmark):
+    """R* is ~10 % of the loop: no configuration gains more than that."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for plat, v in throughput.items():
+        assert v["sliced"] < 1.12 * v["single"], plat
+
+
+def test_slices_cost_bits_but_modestly(rate_cost, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rate_cost[4] > rate_cost[1]
+    assert rate_cost[4] < 1.15 * rate_cost[1]

@@ -1,0 +1,94 @@
+"""Paper §IV headline speedups (derived from the Fig. 6(b) sweep).
+
+Paper numbers, averaged / maximized over RF counts at 32×32 SA:
+
+- SysHK: ≈1.3× over single GPU_K, ≈3× over quad-core CPU_H;
+- SysNFF: up to 2.2× over GPU_F, up to 5× over CPU_N;
+- abstract: CPU+GPU systems outperform individual GPU and quad-core CPU
+  executions by more than 2× and 5× respectively (SysNFF case).
+"""
+
+import statistics
+
+import pytest
+
+from conftest import encode_fps
+from repro.report import format_table
+
+RFS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    configs = ("CPU_N", "CPU_H", "GPU_F", "GPU_K", "SysNFF", "SysHK")
+    return {
+        name: {rf: encode_fps(name, num_refs=rf, n_frames=rf + 12) for rf in RFS}
+        for name in configs
+    }
+
+
+def _ratios(sweep, system, base):
+    return [sweep[system][rf] / sweep[base][rf] for rf in RFS]
+
+
+def test_speedup_table(sweep, emit, benchmark):
+    benchmark.pedantic(
+        encode_fps, args=("SysNFF",), kwargs={"num_refs": 2}, rounds=2, iterations=1
+    )
+    rows = []
+    for system, base, paper in (
+        ("SysHK", "GPU_K", "avg ~1.3"),
+        ("SysHK", "CPU_H", "avg ~3"),
+        ("SysNFF", "GPU_F", "up to 2.2"),
+        ("SysNFF", "CPU_N", "up to 5"),
+    ):
+        r = _ratios(sweep, system, base)
+        rows.append(
+            [
+                f"{system} vs {base}",
+                paper,
+                f"{statistics.mean(r):.2f}",
+                f"{max(r):.2f}",
+            ]
+        )
+    emit(
+        "speedups",
+        format_table(
+            ["comparison", "paper", "measured avg", "measured max"],
+            rows,
+            title="§IV speedups over single-device execution "
+            "(32x32 SA, RFs 1..8)",
+        ),
+    )
+
+
+def test_syshk_vs_gpu_k(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    avg = statistics.mean(_ratios(sweep, "SysHK", "GPU_K"))
+    assert 1.15 <= avg <= 1.45  # paper: "about 1.3"
+
+
+def test_syshk_vs_cpu_h(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    avg = statistics.mean(_ratios(sweep, "SysHK", "CPU_H"))
+    assert 2.5 <= avg <= 3.9  # paper: "about 3"
+
+
+def test_sysnff_vs_gpu_f(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best = max(_ratios(sweep, "SysNFF", "GPU_F"))
+    assert 1.9 <= best <= 2.6  # paper: "up to 2.2"
+
+
+def test_sysnff_vs_cpu_n(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best = max(_ratios(sweep, "SysNFF", "CPU_N"))
+    assert 4.2 <= best <= 5.8  # paper: "up to 5"
+
+
+def test_abstract_claim(sweep, benchmark):
+    """Abstract: 'outperforming individual GPU and quad-core CPU executions
+    for more than 2 and 5 times, respectively'."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert max(_ratios(sweep, "SysNFF", "GPU_F")) > 2.0
+    assert max(_ratios(sweep, "SysNFF", "CPU_N")) > 4.5

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Self-adaptation under system load changes (the paper's Fig. 7 scenario).
+
+Encodes 100 inter frames of 1080p on SysHK while injecting the paper's
+load-perturbation events (other processes stealing CPU time at specific
+frames). The online Performance Characterization detects each change from
+the measured per-module times and the LP redistributes within one frame.
+
+Run:  python examples/adaptive_under_load.py
+"""
+
+from repro import CodecConfig, FevesFramework, FrameworkConfig, get_platform
+from repro.hw.noise import NoiseModel, PerturbationEvent, PerturbationSchedule
+from repro.report import ascii_series, format_table
+
+
+def main() -> None:
+    cfg = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=2)
+    events = [
+        PerturbationEvent(frame=31, device="CPU_H", factor=2.0),
+        PerturbationEvent(frame=55, device="CPU_H", factor=3.0, duration=20),
+        PerturbationEvent(frame=92, device="GPU_K", factor=1.5),
+    ]
+    fw = FevesFramework(
+        get_platform("SysHK"),
+        cfg,
+        FrameworkConfig(noise=NoiseModel(schedule=PerturbationSchedule(events))),
+    )
+    fw.run_model(100)
+    times = fw.frame_times_ms()
+
+    print(ascii_series(
+        {"per-frame time": times},
+        hline=40.0,
+        hline_label="real-time (40 ms)",
+        y_label="SysHK, 1080p, 32x32 SA, 2 RFs — injected load events at "
+        "frames 31 (CPU x2), 55-74 (CPU x3, sustained), 92 (GPU x1.5)",
+        height=16,
+    ))
+
+    rows = []
+    for label, frame in (("baseline", 20), ("1-frame CPU spike", 31),
+                         ("recovered", 33), ("sustained CPU load", 65),
+                         ("GPU hiccup", 92), ("end", 100)):
+        rep = fw.reports[frame - 1]
+        rows.append([
+            label,
+            frame,
+            f"{rep.tau_tot * 1e3:.1f}",
+            str(rep.decision.m.rows),
+        ])
+    print()
+    print(format_table(
+        ["phase", "frame", "ms", "ME rows (GPU_K, CPU_H)"],
+        rows,
+        title="Load-balancer reactions (distribution vector m)",
+    ))
+    print("\nDuring the sustained CPU slowdown the LP moves ME rows from the"
+          " CPU to the GPU and the frame time settles at a new optimum;"
+          " single-frame spikes recover immediately (paper §IV).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling study (the paper's Fig. 6 scenario).
+
+Model-mode 1080p encoding across every device/system preset and the
+related-work baselines — reproduces the headline comparison: FEVES's
+adaptive co-scheduling beats single devices, static equidistant splits and
+single-module ME offloading.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro import CodecConfig, FevesFramework, FrameworkConfig, get_platform
+from repro.baselines import (
+    run_equidistant,
+    run_offload_me,
+    run_oracle_static,
+    run_single_device,
+)
+from repro.report import ascii_bars, format_table
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+N = 15
+
+
+def feves(platform_name: str) -> float:
+    fw = FevesFramework(get_platform(platform_name), CFG, FrameworkConfig())
+    fw.run_model(N)
+    return fw.steady_state_fps()
+
+
+def main() -> None:
+    print("1080p, 32x32 SA, 1 RF — steady-state fps (simulated platforms)\n")
+
+    singles = {
+        name: run_single_device(name, CFG, N).steady_state_fps()
+        for name in ("CPU_N", "CPU_H", "GPU_F", "GPU_K")
+    }
+    systems = {name: feves(name) for name in ("SysNF", "SysNFF", "SysHK")}
+
+    print(format_table(
+        ["config", "fps", "real-time?"],
+        [
+            [k, f"{v:.1f}", "yes" if v >= 25 else "no"]
+            for k, v in {**singles, **systems}.items()
+        ],
+        title="Devices and FEVES systems",
+    ))
+
+    print("\nScheduling policies on SysNFF (CPU_N + 2x GPU_F):\n")
+    policies = {
+        "FEVES adaptive LP": systems["SysNFF"],
+        "oracle static": run_oracle_static(
+            get_platform("SysNFF"), CFG, N
+        ).steady_state_fps(),
+        "equidistant, GPUs only [8]": run_equidistant(
+            get_platform("SysNFF"), CFG, N
+        ).steady_state_fps(),
+        "equidistant incl. CPU": run_equidistant(
+            get_platform("SysNFF"), CFG, N, include_cpu=True
+        ).steady_state_fps(),
+        "ME offload to 1 GPU [5,6]": run_offload_me(
+            get_platform("SysNF"), CFG, N
+        ).steady_state_fps(),
+    }
+    print(ascii_bars(policies, unit=" fps"))
+
+    print("\nTakeaways (paper §IV):")
+    print(f"  SysNFF/GPU_F speedup: {systems['SysNFF'] / singles['GPU_F']:.2f}x "
+          "(paper: up to 2.2x)")
+    print(f"  SysNFF/CPU_N speedup: {systems['SysNFF'] / singles['CPU_N']:.2f}x "
+          "(paper: up to 5x)")
+    print(f"  SysHK /GPU_K speedup: {systems['SysHK'] / singles['GPU_K']:.2f}x "
+          "(paper: ~1.3x)")
+    print("  naively adding the CPU to an equidistant split *hurts* — "
+          "adaptive balancing is what makes heterogeneity pay off.")
+
+
+if __name__ == "__main__":
+    main()

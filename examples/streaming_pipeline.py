@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Streaming pipeline: rate control, scene cuts, packet loss, concealment.
+
+Simulates a live-streaming use of the codec layer: the encoder holds a
+target bitrate with closed-loop QP control and inserts intra frames at
+scene cuts; the channel drops a packet; the decoder conceals the loss and
+recovers at the next intra refresh.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro.codec.config import CodecConfig
+from repro.codec.decoder import SequenceDecoder
+from repro.codec.frames import YuvFrame
+from repro.codec.quality import psnr
+from repro.codec.ratecontrol import RateControlledEncoder
+from repro.codec.stream import StreamEncoder
+from repro.report import format_table
+from repro.video import SyntheticSequence
+
+TARGET_KBPS = 250
+LOST_FRAME = 5
+
+
+def make_clip() -> list[YuvFrame]:
+    a = SyntheticSequence(width=176, height=144, seed=6, noise_sigma=1.0,
+                          n_objects=2, pan=(0.3, 0.8))
+    scene_a = a.frames(9)
+    scene_b = [YuvFrame((255 - f.y), f.u, f.v) for f in a.frames(9, start=9)]
+    return scene_a + scene_b  # hard cut at frame 9
+
+
+def main() -> None:
+    clip = make_clip()
+    cfg = CodecConfig(width=176, height=144, search_range=8, num_ref_frames=2)
+
+    # --- rate-controlled encode ------------------------------------------
+    rc = RateControlledEncoder(cfg, target_bps=TARGET_KBPS * 1000, fps=25.0)
+    rc_out = rc.encode_sequence(clip)
+    achieved = rc.achieved_bps(rc_out[4:]) / 1000
+    print(f"rate control: target {TARGET_KBPS} kbps -> achieved "
+          f"{achieved:.0f} kbps steady (QP path {rc.qp_history})\n")
+
+    # --- streamed encode with scene-cut refresh + lossy channel ----------
+    enc = StreamEncoder(cfg, scene_cut_threshold=20.0)
+    dec = SequenceDecoder.from_header(enc.sequence_header())
+
+    rows = []
+    for i, frame in enumerate(clip):
+        stats, packet = enc.encode_frame(frame)
+        if i == LOST_FRAME:
+            recon = dec.conceal_lost_frame()
+            event = "LOST -> concealed"
+        else:
+            recon = dec.decode_packet(packet)
+            event = "I (scene cut)" if stats.is_intra and i > 0 else (
+                "I" if stats.is_intra else ""
+            )
+        rows.append([
+            i,
+            f"{len(packet)}B",
+            event,
+            f"{psnr(frame.y, recon.y):.1f}",
+        ])
+    print(format_table(
+        ["frame", "packet", "event", "decoded PSNR-Y dB"],
+        rows,
+        title=f"Lossy channel: packet {LOST_FRAME} dropped; scene cut at 9",
+    ))
+    print("\nThe concealment keeps the stream decodable; drift persists "
+          "until the scene-cut intra refresh restores full quality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work in
+offline environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

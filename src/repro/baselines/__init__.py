@@ -1,0 +1,27 @@
+"""Baselines the paper compares against (§II related work).
+
+- :mod:`repro.baselines.single_device` — the whole inter loop on one CPU or
+  one GPU (the per-device bars of Fig. 6).
+- :mod:`repro.baselines.equidistant` — static equidistant partitioning, as
+  in homogeneous multi-GPU approaches [8] ("CPUs are not used for computing
+  and an equidistant partitioning of CF/RFs is applied").
+- :mod:`repro.baselines.offload_me` — offload only ME to a single GPU while
+  the CPU runs the rest of the encoder ([5], [6]).
+- :mod:`repro.baselines.oracle` — best *static* distribution computed from
+  the simulator's ground-truth rates (upper bound for any non-adaptive
+  scheduler; FEVES should approach it on stationary systems).
+"""
+
+from repro.baselines.equidistant import run_equidistant
+from repro.baselines.offload_me import run_offload_me
+from repro.baselines.oracle import run_oracle_static
+from repro.baselines.runner import PolicyRunner
+from repro.baselines.single_device import run_single_device
+
+__all__ = [
+    "PolicyRunner",
+    "run_equidistant",
+    "run_offload_me",
+    "run_oracle_static",
+    "run_single_device",
+]

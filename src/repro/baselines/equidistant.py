@@ -1,0 +1,78 @@
+"""Equidistant static partitioning baseline (homogeneous multi-GPU SoA [8]).
+
+Splits every distributed module into equal MB-row bands each frame, with
+two variants:
+
+- ``include_cpu=False`` (default, the [8] setting): only the GPUs compute,
+  "CPUs are not used for computing and an equidistant partitioning of
+  CF/RFs is applied";
+- ``include_cpu=True``: the equidistant split also covers the CPU — this is
+  what FEVES's *initialization* frame does, so the gap between this
+  baseline and FEVES isolates the benefit of the adaptive LP.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.runner import PolicyRunner
+from repro.codec.config import CodecConfig
+from repro.core.bounds import ExtraTransfers, ls_bounds, ms_bounds
+from repro.core.config import FrameworkConfig
+from repro.core.distribution import Distribution
+from repro.core.load_balancing import LoadDecision
+from repro.hw.topology import Platform
+
+
+def equidistant_decision(
+    platform: Platform,
+    codec_cfg: CodecConfig,
+    include_cpu: bool,
+    halo: int = 2,
+) -> LoadDecision:
+    """Static equal split across GPUs (optionally including the CPU)."""
+    n = codec_cfg.mb_rows
+    devices = platform.devices
+    d = len(devices)
+    active = [
+        i for i, dev in enumerate(devices) if include_cpu or dev.is_accelerator
+    ]
+    if not active:
+        raise ValueError("no computing devices selected")
+    per = Distribution.equidistant(n, len(active))
+    rows = [0] * d
+    for k, i in enumerate(active):
+        rows[i] = per.rows[k]
+    dist = Distribution(rows=tuple(rows), total=n)
+    empty = ExtraTransfers(segments=(), rows=0)
+    return LoadDecision(
+        m=dist,
+        l=dist,
+        s=dist,
+        delta_m=[
+            ms_bounds(dist, dist, i) if devices[i].is_accelerator else empty
+            for i in range(d)
+        ],
+        delta_l=[
+            ls_bounds(dist, dist, i, halo) if devices[i].is_accelerator else empty
+            for i in range(d)
+        ],
+    )
+
+
+def run_equidistant(
+    platform: Platform,
+    codec_cfg: CodecConfig,
+    n_inter_frames: int,
+    include_cpu: bool = False,
+    fw_cfg: FrameworkConfig | None = None,
+) -> PolicyRunner:
+    """Run the static equidistant baseline; R* goes to the first GPU."""
+    decision = equidistant_decision(platform, codec_cfg, include_cpu)
+    gpus = platform.gpus
+    rstar = gpus[0].name if gpus else platform.devices[0].name
+
+    def policy(idx, perf):
+        return decision, rstar
+
+    runner = PolicyRunner(platform, codec_cfg, policy, fw_cfg)
+    runner.run(n_inter_frames)
+    return runner

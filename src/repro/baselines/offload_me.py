@@ -1,0 +1,66 @@
+"""ME-offload baseline ([5], [6]): only ME runs on one GPU.
+
+The common pre-FEVES design: the most expensive module (ME) is offloaded to
+a single GPU while the CPU performs INT, SME and the R* modules. Scales to
+exactly one GPU — the limitation the paper calls out ("these approaches
+offer a limited scalability since only one GPU device can be efficiently
+employed").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.runner import PolicyRunner
+from repro.codec.config import CodecConfig
+from repro.core.bounds import ExtraTransfers, ms_bounds
+from repro.core.config import FrameworkConfig
+from repro.core.distribution import Distribution
+from repro.core.load_balancing import LoadDecision
+from repro.hw.topology import Platform
+
+
+def offload_me_decision(platform: Platform, codec_cfg: CodecConfig) -> LoadDecision:
+    """All ME on the first GPU; INT/SME (and R*) on the CPU."""
+    n = codec_cfg.mb_rows
+    devices = platform.devices
+    d = len(devices)
+    gpu_idx = next(
+        (i for i, dev in enumerate(devices) if dev.is_accelerator), None
+    )
+    cpu_idx = next(
+        (i for i, dev in enumerate(devices) if not dev.is_accelerator), None
+    )
+    if gpu_idx is None or cpu_idx is None:
+        raise ValueError("offload-ME baseline needs one GPU and one CPU")
+    m = Distribution.single_device(n, d, gpu_idx)
+    ls = Distribution.single_device(n, d, cpu_idx)
+    empty = ExtraTransfers(segments=(), rows=0)
+    return LoadDecision(
+        m=m,
+        l=ls,
+        s=ls,
+        delta_m=[
+            ms_bounds(m, ls, i) if devices[i].is_accelerator else empty
+            for i in range(d)
+        ],
+        delta_l=[empty] * d,  # SME runs on the CPU: SF stays in host memory
+    )
+
+
+def run_offload_me(
+    platform: Platform,
+    codec_cfg: CodecConfig,
+    n_inter_frames: int,
+    fw_cfg: FrameworkConfig | None = None,
+) -> PolicyRunner:
+    """Run the ME-offload baseline (R* on the CPU, as in [5]/[6])."""
+    decision = offload_me_decision(platform, codec_cfg)
+    cpu = platform.cpu
+    if cpu is None:
+        raise ValueError("offload-ME baseline needs a CPU device")
+
+    def policy(idx, perf):
+        return decision, cpu.name
+
+    runner = PolicyRunner(platform, codec_cfg, policy, fw_cfg)
+    runner.run(n_inter_frames)
+    return runner

@@ -1,0 +1,80 @@
+"""Oracle static baseline: the best fixed distribution, known in advance.
+
+Uses the simulator's *ground-truth* rate models (which FEVES never sees) to
+solve the Algorithm-2 LP once, then applies that distribution to every
+frame. On a stationary system this upper-bounds any static scheduler;
+FEVES's adaptive loop should converge to within a few percent of it — and
+beat it as soon as the platform's performance shifts.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.runner import PolicyRunner
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.load_balancing import LoadBalancer, LoadDecision
+from repro.core.perf_model import PerformanceCharacterization
+from repro.hw.interconnect import BufferSizes
+from repro.hw.topology import Platform
+
+
+def ground_truth_perf(
+    platform: Platform, codec_cfg: CodecConfig, active_refs: int | None = None
+) -> PerformanceCharacterization:
+    """A characterization pre-filled from the simulator's true rate models."""
+    refs = active_refs if active_refs is not None else codec_cfg.num_ref_frames
+    perf = PerformanceCharacterization(alpha=1.0)
+    sizes = BufferSizes(width=codec_cfg.width, height=codec_cfg.height)
+    for dev in platform.devices:
+        r = dev.spec.rates
+        perf.observe_compute(dev.name, "me", 1, r.me_row_s(codec_cfg, refs))
+        perf.observe_compute(dev.name, "int", 1, r.int_row_s(codec_cfg))
+        perf.observe_compute(dev.name, "sme", 1, r.sme_row_s(codec_cfg))
+        perf.observe_rstar(dev.name, r.rstar_frame_s(codec_cfg))
+        if dev.is_accelerator:
+            assert dev.spec.link is not None
+            probe = float(sizes.sf_row)
+            perf.observe_transfer(
+                dev.name, "h2d", probe, dev.spec.link.transfer_s(probe, "h2d")
+            )
+            perf.observe_transfer(
+                dev.name, "d2h", probe, dev.spec.link.transfer_s(probe, "d2h")
+            )
+    return perf
+
+
+def oracle_decision(
+    platform: Platform,
+    codec_cfg: CodecConfig,
+    fw_cfg: FrameworkConfig | None = None,
+) -> tuple[LoadDecision, str]:
+    """Solve the LP once with ground-truth rates; returns (decision, R* dev)."""
+    fw_cfg = fw_cfg or FrameworkConfig()
+    perf = ground_truth_perf(platform, codec_cfg)
+    gpus = platform.gpus
+    rstar = gpus[0].name if gpus else platform.devices[0].name
+    balancer = LoadBalancer(platform, codec_cfg, fw_cfg)
+    decision = balancer.solve(
+        perf=perf,
+        rstar_device=rstar,
+        needs_rf={d.name: d.name != rstar for d in gpus},
+        sigma_r_prev={d.name: 0 for d in gpus},
+    )
+    return decision, rstar
+
+
+def run_oracle_static(
+    platform: Platform,
+    codec_cfg: CodecConfig,
+    n_inter_frames: int,
+    fw_cfg: FrameworkConfig | None = None,
+) -> PolicyRunner:
+    """Run the oracle static schedule for ``n_inter_frames``."""
+    decision, rstar = oracle_decision(platform, codec_cfg, fw_cfg)
+
+    def policy(idx, perf):
+        return decision, rstar
+
+    runner = PolicyRunner(platform, codec_cfg, policy, fw_cfg)
+    runner.run(n_inter_frames)
+    return runner

@@ -1,0 +1,47 @@
+"""Single-device baseline: run the entire inter loop on one device.
+
+These are the per-device curves of the paper's Fig. 6 (CPU_N, CPU_H, GPU_F,
+GPU_K). The device both computes every module and — when it is a GPU —
+pays the CF upload each frame, while the RF/SF stay resident on the device.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.runner import PolicyRunner
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.distribution import Distribution
+from repro.core.load_balancing import LoadDecision
+from repro.core.bounds import ExtraTransfers
+from repro.hw.presets import get_platform
+from repro.hw.topology import Platform
+
+
+def _all_on(platform: Platform, codec_cfg: CodecConfig, device_index: int) -> LoadDecision:
+    n = codec_cfg.mb_rows
+    d = len(platform.devices)
+    dist = Distribution.single_device(n, d, device_index)
+    empty = ExtraTransfers(segments=(), rows=0)
+    return LoadDecision(
+        m=dist, l=dist, s=dist,
+        delta_m=[empty] * d, delta_l=[empty] * d,
+    )
+
+
+def run_single_device(
+    device_name: str,
+    codec_cfg: CodecConfig,
+    n_inter_frames: int,
+    fw_cfg: FrameworkConfig | None = None,
+) -> PolicyRunner:
+    """Encode on a single-device platform preset; returns the runner."""
+    platform = get_platform(device_name)
+    if len(platform.devices) != 1:
+        raise ValueError(f"{device_name!r} is not a single-device preset")
+
+    def policy(idx, perf):
+        return _all_on(platform, codec_cfg, 0), platform.devices[0].name
+
+    runner = PolicyRunner(platform, codec_cfg, policy, fw_cfg)
+    runner.run(n_inter_frames)
+    return runner

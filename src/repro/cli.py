@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro platforms
+    python -m repro run --platform SysHK --sa 64 --refs 2 --frames 100
+    python -m repro sweep --what sa|refs
+    python -m repro encode in.yuv --size 352x288 --out clip.fevs
+    python -m repro decode clip.fevs --out recon.yuv
+    python -m repro trace --platform SysHK --frames 5 --out trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform, list_platforms
+from repro.report import ascii_series, format_table
+
+
+def _codec_cfg(args: argparse.Namespace) -> CodecConfig:
+    slices = getattr(args, "slices", 1)
+    return CodecConfig(
+        width=1920,
+        height=1088,
+        search_range=args.sa // 2,
+        num_ref_frames=args.refs,
+        num_slices=slices,
+        deblock_across_slices=slices == 1,
+    )
+
+
+def cmd_platforms(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_platforms():
+        p = get_platform(name)
+        kinds = "+".join(d.spec.kind for d in p.devices)
+        fw = FevesFramework(p, CodecConfig(width=1920, height=1088, search_range=16))
+        fw.run_model(8)
+        rows.append([name, kinds, len(p.devices), f"{fw.steady_state_fps():.1f}"])
+    print(format_table(
+        ["platform", "devices", "n", "fps @1080p 32x32 1RF"], rows,
+        title="Available platform presets (simulated)",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _codec_cfg(args)
+    fw = FevesFramework(
+        get_platform(args.platform),
+        cfg,
+        FrameworkConfig(
+            centric=args.centric,
+            rstar_parallel=getattr(args, "rstar_parallel", False),
+        ),
+    )
+    fw.run_model(args.frames)
+    times = fw.frame_times_ms()
+    print(ascii_series(
+        {"ms/frame": times},
+        hline=40.0,
+        hline_label="real-time (40ms)",
+        y_label=(
+            f"{args.platform}, 1080p, {args.sa}x{args.sa} SA, "
+            f"{args.refs} RF — per-frame encoding time"
+        ),
+    ))
+    print(f"\nsteady-state: {fw.steady_state_fps():.1f} fps   "
+          f"R* device: {fw.rstar_device}   "
+          f"LB overhead: {fw.scheduling_overhead_ms:.2f} ms/frame")
+    last = fw.reports[-1].decision
+    names = [d.name for d in fw.platform.devices]
+    print(f"final distributions over {names}:")
+    print(f"  ME={last.m.rows}  INT={last.l.rows}  SME={last.s.rows}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    configs = ("CPU_N", "CPU_H", "GPU_F", "GPU_K", "SysNF", "SysNFF", "SysHK")
+
+    def fps(name: str, sa: int, refs: int) -> float:
+        cfg = CodecConfig(
+            width=1920, height=1088, search_range=sa // 2, num_ref_frames=refs
+        )
+        fw = FevesFramework(get_platform(name), cfg, FrameworkConfig())
+        fw.run_model(refs + 10)
+        return fw.steady_state_fps(warmup=refs + 1)
+
+    if args.what == "sa":
+        xs = (32, 64, 128, 256)
+        rows = [
+            [n] + [f"{fps(n, sa, 1):.1f}" for sa in xs] for n in configs
+        ]
+        print(format_table(
+            ["config"] + [f"{x}x{x}" for x in xs], rows,
+            title="fps vs search-area size (1 RF, 1080p) — paper Fig. 6(a)",
+        ))
+    else:
+        xs = tuple(range(1, 9))
+        rows = [
+            [n] + [f"{fps(n, 32, rf):.1f}" for rf in xs] for n in configs
+        ]
+        print(format_table(
+            ["config"] + [f"{x}RF" for x in xs], rows,
+            title="fps vs reference frames (32x32 SA, 1080p) — paper Fig. 6(b)",
+        ))
+    return 0
+
+
+def _parse_size(text: str) -> tuple[int, int]:
+    try:
+        w, h = text.lower().split("x")
+        return int(w), int(h)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}, expected WxH") from exc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.hw.trace_export import export_chrome_trace
+
+    cfg = _codec_cfg(args)
+    fw = FevesFramework(get_platform(args.platform), cfg, FrameworkConfig())
+    fw.run_model(args.frames)
+    n = export_chrome_trace([r.timeline for r in fw.reports], args.out)
+    print(f"wrote {n} events for {args.frames} frames to {args.out}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load it")
+    return 0
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    from repro.codec.stats import summarize
+    from repro.codec.stream import write_stream
+    from repro.video.yuv import read_yuv420
+
+    w, h = args.size
+    frames = read_yuv420(args.input, w, h, args.frames)
+    if not frames:
+        print(f"error: no complete {w}x{h} frames in {args.input}", file=sys.stderr)
+        return 1
+    cfg = CodecConfig(
+        width=w, height=h, search_range=args.sa // 2, num_ref_frames=args.refs,
+        qp_i=args.qp - 1 if args.qp > 0 else 0, qp_p=args.qp,
+        entropy_coder=args.coder,
+    )
+    stats = write_stream(args.out, frames, cfg)
+    s = summarize(stats)
+    print(f"encoded {s.n_frames} frames -> {args.out}")
+    print(f"  total {s.total_bits / 8000:.1f} kB, "
+          f"mean PSNR-Y {s.mean_psnr_y:.2f} dB, "
+          f"{s.kbps(25.0):.0f} kbit/s @25fps")
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    from repro.codec.stream import read_stream
+    from repro.video.yuv import write_yuv420
+
+    cfg, frames = read_stream(args.input)
+    write_yuv420(args.out, frames)
+    print(f"decoded {len(frames)} frames of {cfg.width}x{cfg.height} "
+          f"-> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro", description="FEVES reproduction toolkit"
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list platform presets").set_defaults(
+        func=cmd_platforms
+    )
+
+    run = sub.add_parser("run", help="model-mode encoding run on a preset")
+    run.add_argument("--platform", default="SysHK", choices=list_platforms())
+    run.add_argument("--sa", type=int, default=32, help="search-area side")
+    run.add_argument("--refs", type=int, default=1)
+    run.add_argument("--frames", type=int, default=50)
+    run.add_argument("--centric", default="auto", choices=("auto", "gpu", "cpu"))
+    run.add_argument("--slices", type=int, default=1,
+                     help="slices per frame (cross-slice DBL off when >1)")
+    run.add_argument("--rstar-parallel", action="store_true",
+                     help="distribute R* per slice (needs --slices > 1)")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="regenerate a Fig. 6 table")
+    sweep.add_argument("--what", choices=("sa", "refs"), default="sa")
+    sweep.set_defaults(func=cmd_sweep)
+
+    enc = sub.add_parser("encode", help="encode a raw YUV420 file")
+    enc.add_argument("input")
+    enc.add_argument("--size", type=_parse_size, required=True, metavar="WxH")
+    enc.add_argument("--out", required=True)
+    enc.add_argument("--frames", type=int, default=None)
+    enc.add_argument("--sa", type=int, default=16)
+    enc.add_argument("--refs", type=int, default=1)
+    enc.add_argument("--qp", type=int, default=28)
+    enc.add_argument("--coder", default="lite", choices=("lite", "cavlc"))
+    enc.set_defaults(func=cmd_encode)
+
+    dec = sub.add_parser("decode", help="decode a .fevs stream to YUV420")
+    dec.add_argument("input")
+    dec.add_argument("--out", required=True)
+    dec.set_defaults(func=cmd_decode)
+
+    tr = sub.add_parser("trace", help="export a chrome://tracing JSON")
+    tr.add_argument("--platform", default="SysHK", choices=list_platforms())
+    tr.add_argument("--sa", type=int, default=32)
+    tr.add_argument("--refs", type=int, default=1)
+    tr.add_argument("--frames", type=int, default=5)
+    tr.add_argument("--out", required=True)
+    tr.set_defaults(func=cmd_trace)
+    return ap
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,276 @@
+"""Single-device reference encoder.
+
+Runs the complete H.264/AVC inter loop of Fig. 1 sequentially on one
+device: ME → INT → SME → MC → TQ → TQ⁻¹ → DBL → entropy accounting. The
+FEVES framework must produce *bit-exact* identical reconstructions and bit
+counts when it splits ME/INT/SME across devices — the integration tests in
+``tests/core`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.config import CodecConfig
+from repro.codec.deblock import BlockInfo, deblock_plane
+from repro.codec.frames import YuvFrame
+from repro.codec.gop import ReferenceStore
+from repro.codec.interpolation import interpolate_plane
+from repro.codec.intra import intra_encode_frame
+from repro.codec.mc import motion_compensate
+from repro.codec.me import motion_estimate_rows
+from repro.codec.quality import frame_psnr
+from repro.codec.entropy import get_coder
+from repro.codec.residual import code_chroma_plane, code_luma_plane, reconstruct
+from repro.codec.slices import dbl_skip_luma_rows
+from repro.codec.sme import subpel_refine_rows
+from repro.codec.syntax import FrameSyntax
+
+
+@dataclass
+class EncodedFrame:
+    """Per-frame encoding outcome."""
+
+    index: int
+    is_intra: bool
+    bits: int
+    psnr: dict[str, float]
+    recon: YuvFrame
+    mode_histogram: dict[tuple[int, int], int] = field(default_factory=dict)
+    syntax: FrameSyntax | None = None
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8.0
+
+
+@dataclass
+class ResidualData:
+    """Everything the residual stage produces for one inter frame."""
+
+    recon: YuvFrame          # prediction + reconstructed residual (pre-DBL)
+    bits: int                # exact entropy-coder cost of all levels
+    cnz4: np.ndarray         # luma 4×4 non-zero grid (DBL input)
+    luma: "object"           # CodedPlane
+    u: "object"              # CodedChromaPlane
+    v: "object"              # CodedChromaPlane
+
+
+def encode_inter_residual(
+    cur: YuvFrame,
+    pred: YuvFrame,
+    qp: int,
+) -> tuple[YuvFrame, int, np.ndarray]:
+    """TQ/TQ⁻¹ the inter residual and reconstruct (shared with the framework).
+
+    Returns ``(recon_frame_before_dbl, residual_bits, luma_cnz4_grid)``.
+    Use :func:`encode_inter_residual_full` when the level arrays are needed
+    (bitstream serialization).
+    """
+    data = encode_inter_residual_full(cur, pred, qp)
+    return data.recon, data.bits, data.cnz4
+
+
+def encode_inter_residual_full(
+    cur: YuvFrame,
+    pred: YuvFrame,
+    qp: int,
+    coder=None,
+) -> ResidualData:
+    """TQ/TQ⁻¹ the inter residual, keeping all syntax elements."""
+    res_y = cur.y.astype(np.int64) - pred.y.astype(np.int64)
+    res_u = cur.u.astype(np.int64) - pred.u.astype(np.int64)
+    res_v = cur.v.astype(np.int64) - pred.v.astype(np.int64)
+    coded_y = code_luma_plane(res_y, qp, intra=False, coder=coder)
+    coded_u = code_chroma_plane(res_u, qp, intra=False, coder=coder)
+    coded_v = code_chroma_plane(res_v, qp, intra=False, coder=coder)
+    recon = YuvFrame(
+        reconstruct(pred.y, coded_y.recon_residual),
+        reconstruct(pred.u, coded_u.recon_residual),
+        reconstruct(pred.v, coded_v.recon_residual),
+    )
+    bits = coded_y.bits + coded_u.bits + coded_v.bits
+    return ResidualData(
+        recon=recon, bits=bits, cnz4=coded_y.cnz4,
+        luma=coded_y, u=coded_u, v=coded_v,
+    )
+
+
+def deblock_frame(
+    recon: YuvFrame,
+    mv4: np.ndarray,
+    ref4: np.ndarray,
+    cnz4: np.ndarray,
+    intra4: np.ndarray,
+    qp: int,
+    skip_luma_rows: frozenset[int] = frozenset(),
+) -> YuvFrame:
+    """Apply DBL to all three planes (shared with the framework's R* path).
+
+    ``skip_luma_rows`` carries the slice boundaries when cross-slice
+    filtering is disabled (see :mod:`repro.codec.slices`).
+    """
+    info = BlockInfo(mv=mv4, ref=ref4, cnz=cnz4, intra=intra4)
+    return YuvFrame(
+        deblock_plane(recon.y, info, qp, chroma=False,
+                      skip_luma_rows=skip_luma_rows),
+        deblock_plane(recon.u, info, qp, chroma=True,
+                      skip_luma_rows=skip_luma_rows),
+        deblock_plane(recon.v, info, qp, chroma=True,
+                      skip_luma_rows=skip_luma_rows),
+    )
+
+
+class ReferenceEncoder:
+    """Sequential H.264/AVC inter-loop encoder (ground truth for FEVES)."""
+
+    def __init__(
+        self,
+        cfg: CodecConfig,
+        keep_syntax: bool = False,
+        gop_size: int = 0,
+        scene_cut_threshold: float | None = None,
+    ) -> None:
+        """``gop_size`` > 0 inserts an I frame every that many frames
+        (periodic intra refresh); 0 codes a single leading I frame.
+
+        ``scene_cut_threshold`` enables adaptive intra placement: when the
+        mean absolute luma difference against the previous *source* frame
+        exceeds the threshold (a scene change — inter prediction would be
+        useless), the frame is coded intra and the GOP restarts.
+        """
+        if gop_size < 0:
+            raise ValueError("gop_size must be >= 0")
+        if scene_cut_threshold is not None and scene_cut_threshold <= 0:
+            raise ValueError("scene_cut_threshold must be > 0")
+        self.cfg = cfg
+        self.keep_syntax = keep_syntax
+        self.gop_size = gop_size
+        self.scene_cut_threshold = scene_cut_threshold
+        self.coder = get_coder(cfg.entropy_coder)
+        self.store = ReferenceStore(max_refs=cfg.num_ref_frames)
+        self._frame_index = 0
+        self._prev_source_y: np.ndarray | None = None
+        self.scene_cuts: list[int] = []
+
+    def reset(self) -> None:
+        """Forget all references; the next frame is coded intra."""
+        self.store = ReferenceStore(max_refs=self.cfg.num_ref_frames)
+        self._frame_index = 0
+
+    def encode_frame(self, cur: YuvFrame) -> EncodedFrame:
+        """Encode the next frame (I if first of the GOP, P otherwise)."""
+        if cur.y.shape != (self.cfg.height, self.cfg.width):
+            raise ValueError(
+                f"frame {cur.y.shape} does not match config "
+                f"{(self.cfg.height, self.cfg.width)}"
+            )
+        idx = self._frame_index
+        self._frame_index += 1
+        intra_now = idx == 0 or (self.gop_size > 0 and idx % self.gop_size == 0)
+        if (
+            not intra_now
+            and self.scene_cut_threshold is not None
+            and self._prev_source_y is not None
+        ):
+            diff = float(
+                np.abs(
+                    cur.y.astype(np.int32) - self._prev_source_y.astype(np.int32)
+                ).mean()
+            )
+            if diff > self.scene_cut_threshold:
+                intra_now = True
+                self.scene_cuts.append(idx)
+        self._prev_source_y = cur.y
+        if intra_now:
+            return self._encode_intra(cur, idx)
+        return self._encode_inter(cur, idx)
+
+    def _encode_intra(self, cur: YuvFrame, idx: int) -> EncodedFrame:
+        result = intra_encode_frame(cur, self.cfg)
+        h, w = cur.y.shape
+        intra4 = np.ones((h // 4, w // 4), dtype=bool)
+        mv4 = np.zeros((h // 4, w // 4, 2), dtype=np.int32)
+        ref4 = np.full((h // 4, w // 4), -1, dtype=np.int32)
+        recon = deblock_frame(
+            result.recon, mv4, ref4, result.cnz4, intra4, self.cfg.qp_i,
+            skip_luma_rows=dbl_skip_luma_rows(self.cfg),
+        )
+        self.store.reset(recon)
+        syntax = FrameSyntax(is_intra=True, intra=result) if self.keep_syntax else None
+        return EncodedFrame(
+            index=idx,
+            is_intra=True,
+            bits=result.bits,
+            psnr=frame_psnr(cur, recon),
+            recon=recon,
+            syntax=syntax,
+        )
+
+    def _encode_inter(self, cur: YuvFrame, idx: int) -> EncodedFrame:
+        cfg = self.cfg
+        qp = cfg.qp_p
+        h, w = cur.y.shape
+        mb_rows = h // 16
+
+        # INT: interpolate the newest RF (produced by the previous frame).
+        self.store.push_sf(interpolate_plane(self.store.frames[0].y))
+
+        refs = self.store.active_refs()
+        sfs = self.store.active_sfs()
+
+        # ME over the full frame.
+        me_field = motion_estimate_rows(
+            cur.y, [r.y for r in refs], 0, mb_rows, cfg
+        )
+        # SME refinement.
+        sme_field = subpel_refine_rows(cur.y, sfs, me_field, 0, mb_rows, cfg)
+        # MC: mode decision + prediction.
+        mc = motion_compensate(
+            cur, sme_field, sfs, self.store.active_chroma(), cfg, qp
+        )
+        # TQ / TQ⁻¹ and reconstruction.
+        res = encode_inter_residual_full(cur, mc.pred, qp, coder=self.coder)
+        recon, res_bits, cnz4 = res.recon, res.bits, res.cnz4
+        # DBL.
+        intra4 = np.zeros((h // 4, w // 4), dtype=bool)
+        recon = deblock_frame(
+            recon, mc.mv4, mc.ref4, cnz4, intra4, qp,
+            skip_luma_rows=dbl_skip_luma_rows(cfg),
+        )
+
+        self.store.push(recon)
+
+        syntax = None
+        if self.keep_syntax:
+            syntax = FrameSyntax(
+                is_intra=False,
+                mode_idx=mc.mode_idx,
+                mv4=mc.mv4,
+                ref4=mc.ref4,
+                mode_shapes=sme_field.mode_shapes,
+                luma_levels=res.luma.levels,
+                u_ac=res.u.ac_levels,
+                u_dc=res.u.dc_levels,
+                v_ac=res.v.ac_levels,
+                v_dc=res.v.dc_levels,
+            )
+
+        hist: dict[tuple[int, int], int] = {}
+        for mode_i, shape in enumerate(sme_field.mode_shapes):
+            hist[shape] = int((mc.mode_idx == mode_i).sum())
+        return EncodedFrame(
+            index=idx,
+            is_intra=False,
+            bits=res_bits + mc.header_bits,
+            psnr=frame_psnr(cur, recon),
+            recon=recon,
+            mode_histogram=hist,
+            syntax=syntax,
+        )
+
+    def encode_sequence(self, frames: list[YuvFrame]) -> list[EncodedFrame]:
+        """Encode a list of frames as one IPPP GOP."""
+        return [self.encode_frame(f) for f in frames]

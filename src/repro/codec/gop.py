@@ -1,0 +1,80 @@
+"""GOP structure and reference-frame / SF store.
+
+The paper encodes IPPP sequences: one I frame then P frames. Reference
+management follows the sliding window: the newest ``num_ref_frames``
+reconstructions are the active references, and each frame's inter loop
+interpolates exactly one new SF — that of the RF reconstructed by the
+previous frame (paper Fig. 5: "a single RF is produced during the encoding
+of a single inter-frame"). This is why Fig. 7(b) shows a warm-up ramp: with
+R reference frames configured, frames 2..R see an increasing number of
+available references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.frames import YuvFrame
+
+#: H.264 upper bound on the reference list length.
+MAX_REFS = 16
+
+
+@dataclass
+class ReferenceStore:
+    """Sliding-window store of reconstructed RFs and their SFs.
+
+    Index 0 is always the newest reference. ``sfs`` is kept aligned with
+    ``frames``: ``sfs[i]`` is the quarter-pel SF of ``frames[i]`` (it may be
+    momentarily missing for index 0 until the current frame's INT runs —
+    exactly the dependency the framework's τ1 point synchronizes).
+    """
+
+    max_refs: int
+    frames: list[YuvFrame] = field(default_factory=list)
+    sfs: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_refs <= MAX_REFS:
+            raise ValueError(f"max_refs must be 1..{MAX_REFS}, got {self.max_refs}")
+
+    @property
+    def num_active(self) -> int:
+        """References currently usable by ME/SME (≤ configured maximum)."""
+        return min(len(self.frames), self.max_refs)
+
+    def reset(self, first: YuvFrame) -> None:
+        """Start a new GOP from a freshly reconstructed I frame."""
+        self.frames = [first]
+        self.sfs = []
+
+    def push(self, recon: YuvFrame) -> None:
+        """Insert the newest reconstruction (evicting beyond the window)."""
+        self.frames.insert(0, recon)
+        del self.frames[self.max_refs :]
+        del self.sfs[self.max_refs - 1 :]
+
+    def push_sf(self, sf: np.ndarray) -> None:
+        """Attach the SF of the newest RF (must be pending exactly one)."""
+        if len(self.sfs) != len(self.frames) - 1:
+            raise RuntimeError(
+                f"SF store misaligned: {len(self.sfs)} SFs for "
+                f"{len(self.frames)} frames"
+            )
+        self.sfs.insert(0, sf)
+
+    def active_refs(self) -> list[YuvFrame]:
+        """The reference frames visible to the current frame's ME."""
+        return self.frames[: self.num_active]
+
+    def active_sfs(self) -> list[np.ndarray]:
+        """SFs aligned with :meth:`active_refs` (requires INT already ran)."""
+        if len(self.sfs) < self.num_active:
+            raise RuntimeError("SF for the newest RF not interpolated yet")
+        return self.sfs[: self.num_active]
+
+    def active_chroma(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(u, v)`` planes of the active references (for chroma MC)."""
+        return [(f.u, f.v) for f in self.active_refs()]

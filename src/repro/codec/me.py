@@ -1,0 +1,211 @@
+"""Motion Estimation: Full-Search Block-Matching (FSBM).
+
+The ME module (paper Fig. 1) exhaustively evaluates every integer
+displacement inside the search area, for every reference frame and every
+sub-partition of every macroblock, and keeps the candidate with minimum SAD
+per sub-partition. FSBM makes the computational load content-independent —
+the property the paper leans on when it models per-device speed as a
+constant "time per MB row" (the K^m parameters of Algorithm 2).
+
+The kernel is organized exactly like the optimized implementations in the
+paper's module library: one MB row at a time (the framework's distribution
+unit), with 4×4 cell-SAD reuse shared by all 7 partition modes, vectorized
+across the displacement batch and all MBs of the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.codec.config import MB_SIZE, CodecConfig
+from repro.codec.frames import pad_plane
+from repro.codec.partitions import PartitionMode, all_modes, partition_sads
+from repro.codec.sad import strip_cell_sads_batch
+
+#: dtype for stored SAD values (4×4 cells over 256-pel MBs fit easily).
+_SAD_DTYPE = np.int64
+
+
+@dataclass
+class MotionField:
+    """Best full-pel motion data for a band of MB rows.
+
+    All per-mode arrays are indexed ``[row - row0, mb_col, part]``; motion
+    vectors are ``(dy, dx)`` full-pel displacements relative to the
+    co-located position, and ``refs`` holds the winning reference index.
+    """
+
+    row0: int
+    nrows: int
+    mb_cols: int
+    mode_shapes: tuple[tuple[int, int], ...]
+    mvs: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    refs: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    sads: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+    def check_consistent(self) -> None:
+        """Validate array shapes against the declared geometry."""
+        from repro.codec.partitions import get_mode
+
+        for shape in self.mode_shapes:
+            nparts = get_mode(shape).nparts
+            want_mv = (self.nrows, self.mb_cols, nparts, 2)
+            want_scalar = (self.nrows, self.mb_cols, nparts)
+            if self.mvs[shape].shape != want_mv:
+                raise ValueError(f"mvs[{shape}] shape {self.mvs[shape].shape} != {want_mv}")
+            if self.refs[shape].shape != want_scalar:
+                raise ValueError(f"refs[{shape}] bad shape")
+            if self.sads[shape].shape != want_scalar:
+                raise ValueError(f"sads[{shape}] bad shape")
+
+    @staticmethod
+    def merge(parts: list["MotionField"]) -> "MotionField":
+        """Stitch row-band results (from different devices) into one field.
+
+        Bands must be contiguous and non-overlapping once sorted by ``row0``;
+        this is how the Video Coding Manager reassembles the per-device ME
+        outputs after the MV device-to-host transfers.
+        """
+        if not parts:
+            raise ValueError("nothing to merge")
+        parts = sorted(parts, key=lambda p: p.row0)
+        row = parts[0].row0
+        for p in parts:
+            if p.row0 != row:
+                raise ValueError(f"bands not contiguous at row {row} (got {p.row0})")
+            row += p.nrows
+        first = parts[0]
+        merged = MotionField(
+            row0=first.row0,
+            nrows=sum(p.nrows for p in parts),
+            mb_cols=first.mb_cols,
+            mode_shapes=first.mode_shapes,
+        )
+        for shape in first.mode_shapes:
+            merged.mvs[shape] = np.concatenate([p.mvs[shape] for p in parts], axis=0)
+            merged.refs[shape] = np.concatenate([p.refs[shape] for p in parts], axis=0)
+            merged.sads[shape] = np.concatenate([p.sads[shape] for p in parts], axis=0)
+        return merged
+
+
+def motion_estimate_rows(
+    cur_y: np.ndarray,
+    refs_y: list[np.ndarray],
+    row0: int,
+    nrows: int,
+    cfg: CodecConfig,
+    refs_prepadded: bool = False,
+) -> MotionField:
+    """FSBM for MB rows ``[row0, row0 + nrows)`` of the current luma plane.
+
+    Parameters
+    ----------
+    cur_y:
+        Current-frame luma plane, ``(H, W)`` uint8.
+    refs_y:
+        Reconstructed reference luma planes, newest first (list index is the
+        H.264 reference index). Either raw ``(H, W)`` planes or, when
+        ``refs_prepadded`` is set, planes already replicate-padded by
+        ``cfg.search_range`` on each side.
+    row0, nrows:
+        Band of MB rows to process — the framework's distribution unit.
+    cfg:
+        Codec configuration (search range, enabled partitions, #refs).
+
+    Returns
+    -------
+    :class:`MotionField` with, per enabled partition mode, the minimum-SAD
+    displacement, winning reference index and SAD value of every
+    sub-partition. Ties break toward the earlier reference, then the
+    smaller ``dy``, then the smaller ``dx`` (deterministic full search).
+    """
+    h, w = cur_y.shape
+    if h % MB_SIZE or w % MB_SIZE:
+        raise ValueError(f"plane {cur_y.shape} not MB-aligned")
+    mb_rows, mb_cols = h // MB_SIZE, w // MB_SIZE
+    if not 0 <= row0 < mb_rows or nrows < 0 or row0 + nrows > mb_rows:
+        raise ValueError(f"band [{row0}, {row0 + nrows}) outside 0..{mb_rows}")
+    if not refs_y:
+        raise ValueError("at least one reference frame required")
+    sr = cfg.search_range
+    n_refs = min(len(refs_y), cfg.num_ref_frames)
+    modes = all_modes(cfg.enabled_partitions)
+
+    field_out = MotionField(
+        row0=row0,
+        nrows=nrows,
+        mb_cols=mb_cols,
+        mode_shapes=tuple(m.shape for m in modes),
+    )
+    for m in modes:
+        field_out.mvs[m.shape] = np.zeros((nrows, mb_cols, m.nparts, 2), dtype=np.int32)
+        field_out.refs[m.shape] = np.zeros((nrows, mb_cols, m.nparts), dtype=np.int32)
+        field_out.sads[m.shape] = np.full(
+            (nrows, mb_cols, m.nparts), np.iinfo(np.int64).max, dtype=_SAD_DTYPE
+        )
+    if nrows == 0:
+        return field_out
+
+    padded_refs = []
+    for ref in refs_y[:n_refs]:
+        if refs_prepadded:
+            if ref.shape != (h + 2 * sr, w + 2 * sr):
+                raise ValueError(
+                    f"pre-padded ref shape {ref.shape} != {(h + 2 * sr, w + 2 * sr)}"
+                )
+            padded_refs.append(ref)
+        else:
+            if ref.shape != (h, w):
+                raise ValueError(f"ref shape {ref.shape} != {(h, w)}")
+            padded_refs.append(pad_plane(ref, sr))
+
+    for r in range(row0, row0 + nrows):
+        out_r = r - row0
+        cur_strip = cur_y[r * MB_SIZE : (r + 1) * MB_SIZE, :]
+        for ref_idx, ref_pad in enumerate(padded_refs):
+            _search_row(
+                cur_strip, ref_pad, r, ref_idx, sr, modes, field_out, out_r
+            )
+    return field_out
+
+
+def _search_row(
+    cur_strip: np.ndarray,
+    ref_pad: np.ndarray,
+    mb_row: int,
+    ref_idx: int,
+    sr: int,
+    modes: list[PartitionMode],
+    out: MotionField,
+    out_r: int,
+) -> None:
+    """Exhaustive search of one MB row against one padded reference."""
+    w = cur_strip.shape[1]
+    # Padded strip containing every vertical displacement of this MB row:
+    # padded coords of pixel row (mb_row*16 + dy) are offset by +sr.
+    strip = ref_pad[mb_row * MB_SIZE : mb_row * MB_SIZE + MB_SIZE + 2 * sr, :]
+    # windows[dy, dx] is the reference strip displaced by (dy - sr, dx - sr).
+    windows = sliding_window_view(strip, (MB_SIZE, w))  # (2sr+1, 2sr+1, 16, W)
+
+    for dy_i in range(2 * sr + 1):
+        cell = strip_cell_sads_batch(cur_strip, windows[dy_i])  # (ndx, mbc, 4, 4)
+        dy = dy_i - sr
+        for mode in modes:
+            psads = partition_sads(cell, mode).astype(_SAD_DTYPE)  # (ndx, mbc, nparts)
+            best_dx_i = psads.argmin(axis=0)  # (mbc, nparts) first-min ⇒ smaller dx
+            mbc, nparts = best_dx_i.shape
+            cols = np.arange(mbc)[:, None]
+            parts = np.arange(nparts)[None, :]
+            best_sad = psads[best_dx_i, cols, parts]
+            cur_best = out.sads[mode.shape][out_r]
+            improved = best_sad < cur_best  # strict ⇒ earlier ref/dy wins ties
+            if improved.any():
+                out.sads[mode.shape][out_r][improved] = best_sad[improved]
+                out.refs[mode.shape][out_r][improved] = ref_idx
+                out.mvs[mode.shape][out_r, :, :, 0][improved] = dy
+                out.mvs[mode.shape][out_r, :, :, 1][improved] = (
+                    best_dx_i[improved] - sr
+                )

@@ -1,0 +1,95 @@
+"""MB partition-mode bookkeeping.
+
+H.264/AVC allows 7 inter partitionings of a 16×16 macroblock: 16×16, 16×8,
+8×16, 8×8, 8×4, 4×8 and 4×4 (paper §II). Each mode tiles the MB with
+``nparts`` equal rectangles. This module precomputes, for every mode, the
+membership of the sixteen 4×4 SAD cells in each sub-partition, so partition
+SADs are a single matrix product away from the cell-SAD grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.codec.config import MB_SIZE, PARTITION_MODES
+
+
+@dataclass(frozen=True)
+class PartitionMode:
+    """One of the 7 partitionings.
+
+    Attributes
+    ----------
+    shape:
+        ``(height, width)`` of each sub-partition in pixels.
+    nparts:
+        Number of sub-partitions tiling the MB.
+    origins:
+        ``(nparts, 2)`` int array of each sub-partition's ``(y, x)`` pixel
+        offset inside the MB, in raster order.
+    cell_matrix:
+        ``(nparts, 16)`` float matrix; row *p* has ones at the flattened
+        4×4-cell indices belonging to sub-partition *p*. For a cell-SAD grid
+        ``g`` of shape ``(..., 16)``, partition SADs are ``g @ cell_matrix.T``.
+    """
+
+    shape: tuple[int, int]
+    nparts: int
+    origins: np.ndarray
+    cell_matrix: np.ndarray
+
+    @property
+    def pixels(self) -> int:
+        """Pixels per sub-partition."""
+        return self.shape[0] * self.shape[1]
+
+
+def _build_mode(shape: tuple[int, int]) -> PartitionMode:
+    h, w = shape
+    if MB_SIZE % h or MB_SIZE % w:
+        raise ValueError(f"partition {shape} does not tile a 16x16 MB")
+    tiles_y, tiles_x = MB_SIZE // h, MB_SIZE // w
+    nparts = tiles_y * tiles_x
+    origins = np.array(
+        [(ty * h, tx * w) for ty in range(tiles_y) for tx in range(tiles_x)],
+        dtype=np.int32,
+    )
+    cells_y, cells_x = h // 4, w // 4
+    mat = np.zeros((nparts, 16), dtype=np.float64)
+    for p, (oy, ox) in enumerate(origins):
+        cy0, cx0 = oy // 4, ox // 4
+        for cy in range(cy0, cy0 + cells_y):
+            for cx in range(cx0, cx0 + cells_x):
+                mat[p, cy * 4 + cx] = 1.0
+    return PartitionMode(shape=shape, nparts=nparts, origins=origins, cell_matrix=mat)
+
+
+@lru_cache(maxsize=None)
+def get_mode(shape: tuple[int, int]) -> PartitionMode:
+    """Return the (cached) :class:`PartitionMode` for a ``(h, w)`` shape."""
+    if shape not in PARTITION_MODES:
+        raise ValueError(f"unknown partition shape {shape!r}")
+    return _build_mode(shape)
+
+
+def all_modes(
+    enabled: tuple[tuple[int, int], ...] = PARTITION_MODES
+) -> list[PartitionMode]:
+    """Partition modes for every enabled shape, in canonical order."""
+    return [get_mode(s) for s in PARTITION_MODES if s in enabled]
+
+
+def partition_sads(cell_sads: np.ndarray, mode: PartitionMode) -> np.ndarray:
+    """Aggregate cell SADs ``(..., 4, 4)`` into partition SADs ``(..., nparts)``."""
+    flat = cell_sads.reshape(*cell_sads.shape[:-2], 16)
+    return flat @ mode.cell_matrix.T
+
+
+def total_subpartitions(
+    enabled: tuple[tuple[int, int], ...] = PARTITION_MODES
+) -> int:
+    """Total sub-partitions evaluated per MB (41 when all modes are on)."""
+    return sum(m.nparts for m in all_modes(enabled))

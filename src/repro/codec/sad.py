@@ -1,0 +1,91 @@
+"""Sum-of-Absolute-Differences kernels.
+
+H.264 FSBM evaluates every displacement in the search area against every MB
+partition. The standard trick (used by the paper's optimized kernels and
+reproduced here in vectorized NumPy) is *SAD reuse*: compute the SAD of each
+of the sixteen 4×4 cells of a macroblock once per displacement, then obtain
+any of the 41 sub-partition SADs (1+2+2+4+8+8+16 across the 7 modes) as sums
+of cell SADs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.config import MB_SIZE
+
+#: Number of 4×4 cells per MB side.
+CELLS = MB_SIZE // 4
+
+
+def sad(a: np.ndarray, b: np.ndarray) -> int:
+    """Plain SAD between two equally-shaped uint8 blocks."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.abs(a.astype(np.int32) - b.astype(np.int32)).sum())
+
+
+def strip_cell_sads(cur_strip: np.ndarray, ref_strip: np.ndarray) -> np.ndarray:
+    """4×4-cell SADs for one MB row at one displacement.
+
+    Parameters
+    ----------
+    cur_strip:
+        Current-frame luma strip of shape ``(16, W)`` (one MB row).
+    ref_strip:
+        Displaced reference strip of identical shape.
+
+    Returns
+    -------
+    ndarray of shape ``(mb_cols, 4, 4)`` int32 — SAD of each 4×4 cell of
+    each MB in the row, indexed ``[mb, cell_row, cell_col]``.
+    """
+    if cur_strip.shape != ref_strip.shape:
+        raise ValueError(
+            f"strip shape mismatch: {cur_strip.shape} vs {ref_strip.shape}"
+        )
+    h, w = cur_strip.shape
+    if h != MB_SIZE or w % MB_SIZE != 0:
+        raise ValueError(f"strip must be (16, k*16), got {cur_strip.shape}")
+    ad = np.abs(cur_strip.astype(np.int32) - ref_strip.astype(np.int32))
+    # (16, W) -> (4, 4, W//4, 4) -> cell sums (4, W//4)
+    cells = ad.reshape(CELLS, 4, w // 4, 4).sum(axis=(1, 3))
+    mb_cols = w // MB_SIZE
+    # (4, W//4) -> (4, mb_cols, 4) -> (mb_cols, 4, 4)
+    return cells.reshape(CELLS, mb_cols, CELLS).transpose(1, 0, 2)
+
+
+def strip_cell_sads_batch(
+    cur_strip: np.ndarray, ref_windows: np.ndarray
+) -> np.ndarray:
+    """Cell SADs for one MB row at a batch of displacements.
+
+    Parameters
+    ----------
+    cur_strip:
+        ``(16, W)`` current strip.
+    ref_windows:
+        ``(n_disp, 16, W)`` displaced reference strips (usually a
+        sliding-window view — no copy).
+
+    Returns
+    -------
+    ndarray ``(n_disp, mb_cols, 4, 4)`` int32.
+    """
+    n, h, w = ref_windows.shape
+    if (h, w) != cur_strip.shape or h != MB_SIZE or w % MB_SIZE != 0:
+        raise ValueError(
+            f"incompatible shapes cur={cur_strip.shape} windows={ref_windows.shape}"
+        )
+    ad = np.abs(ref_windows.astype(np.int16) - cur_strip.astype(np.int16))
+    cells = ad.astype(np.int32).reshape(n, CELLS, 4, w // 4, 4).sum(axis=(2, 4))
+    mb_cols = w // MB_SIZE
+    return cells.reshape(n, CELLS, mb_cols, CELLS).transpose(0, 2, 1, 3)
+
+
+def block_sad_grid(cur_block: np.ndarray, ref_block: np.ndarray) -> np.ndarray:
+    """4×4-cell SAD grid ``(4, 4)`` for a single MB pair (test helper)."""
+    if cur_block.shape != (MB_SIZE, MB_SIZE) or ref_block.shape != (MB_SIZE, MB_SIZE):
+        raise ValueError("blocks must be 16x16")
+    ad = np.abs(cur_block.astype(np.int32) - ref_block.astype(np.int32))
+    return ad.reshape(CELLS, 4, CELLS, 4).sum(axis=(1, 3))

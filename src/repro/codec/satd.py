@@ -1,0 +1,65 @@
+"""SATD: sum of absolute Hadamard-transformed differences.
+
+The distortion metric real encoders (JM, x264) use for sub-pel refinement
+and mode decisions: transform the residual with a 4×4 Hadamard and sum the
+absolute coefficients. Because the transform concentrates the energy the
+way the codec's DCT will, SATD predicts the actual coding cost better than
+plain SAD — at ~3× the arithmetic. Select with
+``CodecConfig(subpel_metric="satd")``; the paper's kernels (and our
+default) use SAD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Unnormalized 4×4 Hadamard matrix.
+H4 = np.array(
+    [
+        [1, 1, 1, 1],
+        [1, 1, -1, -1],
+        [1, -1, -1, 1],
+        [1, -1, 1, -1],
+    ],
+    dtype=np.int64,
+)
+
+
+def satd_blocks(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """SATD between matching ``(n, bh, bw)`` uint8 block stacks.
+
+    ``bh``/``bw`` must be multiples of 4; the blocks are tiled into 4×4
+    cells, each transformed with ``H4 · D · H4ᵀ``, and the absolute
+    coefficient sums are halved (the JM normalization) and accumulated.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    n, bh, bw = a.shape
+    if bh % 4 or bw % 4:
+        raise ValueError(f"block {bh}x{bw} not 4x4-tileable")
+    diff = a.astype(np.int64) - b.astype(np.int64)
+    tiles = (
+        diff.reshape(n, bh // 4, 4, bw // 4, 4)
+        .transpose(0, 1, 3, 2, 4)
+        .reshape(-1, 4, 4)
+    )
+    coeffs = np.einsum("ij,njk,lk->nil", H4, tiles, H4)
+    per_tile = np.abs(coeffs).sum(axis=(1, 2)) // 2
+    return per_tile.reshape(n, -1).sum(axis=1)
+
+
+def sad_blocks(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain SAD between matching ``(n, bh, bw)`` block stacks."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a.astype(np.int32) - b.astype(np.int32)
+    return np.abs(diff).sum(axis=(1, 2)).astype(np.int64)
+
+
+def block_metric(name: str):
+    """Distortion-function factory: ``"sad"`` or ``"satd"``."""
+    if name == "sad":
+        return sad_blocks
+    if name == "satd":
+        return satd_blocks
+    raise ValueError(f"unknown metric {name!r}; expected sad|satd")

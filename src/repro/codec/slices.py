@@ -1,0 +1,61 @@
+"""Slice partitioning: independently-predictable MB-row groups.
+
+The paper's §III observes that DBL's neighbouring-MB dependencies prevent
+collaborative processing of the R* block — which is why FEVES maps all of
+R* to one device. H.264's escape hatch is *slices*: groups of MB rows with
+intra prediction confined inside each slice and (optionally) deblocking
+disabled across slice boundaries, making the filter slice-parallel at a
+small compression cost. This module provides the geometry; the encoder,
+syntax and decoder consume it, and ``benchmarks/test_slices.py`` quantifies
+the trade-off the paper implicitly made.
+"""
+
+from __future__ import annotations
+
+from repro.codec.config import MB_SIZE, CodecConfig
+
+
+def slice_bounds(mb_rows: int, num_slices: int) -> list[tuple[int, int]]:
+    """Half-open MB-row intervals of each slice (as even as possible)."""
+    if not 1 <= num_slices <= mb_rows:
+        raise ValueError(
+            f"num_slices must be in 1..{mb_rows}, got {num_slices}"
+        )
+    base, extra = divmod(mb_rows, num_slices)
+    bounds = []
+    row = 0
+    for i in range(num_slices):
+        n = base + (1 if i < extra else 0)
+        bounds.append((row, row + n))
+        row += n
+    return bounds
+
+
+def slice_start_mb_rows(cfg: CodecConfig) -> frozenset[int]:
+    """MB-row indices where a new slice begins (always includes 0)."""
+    return frozenset(
+        b[0] for b in slice_bounds(cfg.mb_rows, cfg.num_slices)
+    )
+
+
+def slice_start_luma_rows(cfg: CodecConfig) -> frozenset[int]:
+    """Luma pixel rows at slice starts (intra prediction barriers)."""
+    return frozenset(r * MB_SIZE for r in slice_start_mb_rows(cfg))
+
+
+def slice_start_block_rows(cfg: CodecConfig) -> frozenset[int]:
+    """4×4-block grid rows at slice starts (MPM context barriers)."""
+    return frozenset(r * 4 for r in slice_start_mb_rows(cfg))
+
+
+def dbl_skip_luma_rows(cfg: CodecConfig) -> frozenset[int]:
+    """Luma pixel rows whose horizontal DBL edge is skipped.
+
+    Empty when ``deblock_across_slices`` (the default, matching the paper)
+    or with a single slice; otherwise the interior slice-start rows.
+    """
+    if cfg.deblock_across_slices or cfg.num_slices == 1:
+        return frozenset()
+    return frozenset(
+        r for r in slice_start_luma_rows(cfg) if r != 0
+    )

@@ -1,0 +1,104 @@
+"""Stream encoder and simple file container.
+
+:class:`StreamEncoder` wraps the reference encoder and emits one
+byte-aligned packet per frame (sequence header available separately). The
+file helpers add a minimal length-prefixed container so whole clips can be
+written to disk and decoded back:
+
+    header_len(u32 BE) header  { packet_len(u32 BE) packet }*
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.codec.bitstream import BitWriter
+from repro.codec.config import CodecConfig
+from repro.codec.decoder import SequenceDecoder
+from repro.codec.encoder import EncodedFrame, ReferenceEncoder
+from repro.codec.entropy import get_coder
+from repro.codec.frames import YuvFrame
+from repro.codec.syntax import write_frame, write_sequence_header
+
+
+class StreamEncoder:
+    """Encodes frames and serializes each into a standalone packet."""
+
+    def __init__(
+        self,
+        cfg: CodecConfig,
+        gop_size: int = 0,
+        scene_cut_threshold: float | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self._enc = ReferenceEncoder(
+            cfg,
+            keep_syntax=True,
+            gop_size=gop_size,
+            scene_cut_threshold=scene_cut_threshold,
+        )
+        self._coder = get_coder(cfg.entropy_coder)
+
+    def sequence_header(self) -> bytes:
+        """Serialized stream parameters (feed to the decoder first)."""
+        w = BitWriter()
+        write_sequence_header(w, self.cfg)
+        return w.to_bytes()
+
+    def encode_frame(self, frame: YuvFrame) -> tuple[EncodedFrame, bytes]:
+        """Encode the next frame; returns ``(stats, packet_bytes)``."""
+        encoded = self._enc.encode_frame(frame)
+        assert encoded.syntax is not None
+        w = BitWriter()
+        write_frame(w, encoded.syntax, self._coder, self.cfg)
+        return encoded, w.to_bytes()
+
+    def reset(self) -> None:
+        """Start a new GOP (next frame will be intra)."""
+        self._enc.reset()
+
+
+def write_stream(path: str | Path, frames: list[YuvFrame], cfg: CodecConfig) -> list[EncodedFrame]:
+    """Encode ``frames`` to a length-prefixed container file.
+
+    Returns the per-frame statistics; the on-disk bytes fully describe the
+    clip (decodable with :func:`read_stream`).
+    """
+    enc = StreamEncoder(cfg)
+    stats: list[EncodedFrame] = []
+    with open(path, "wb") as fh:
+        header = enc.sequence_header()
+        fh.write(struct.pack(">I", len(header)))
+        fh.write(header)
+        for frame in frames:
+            encoded, packet = enc.encode_frame(frame)
+            stats.append(encoded)
+            fh.write(struct.pack(">I", len(packet)))
+            fh.write(packet)
+    return stats
+
+
+def read_stream(path: str | Path) -> tuple[CodecConfig, list[YuvFrame]]:
+    """Decode a container file back into reconstructed frames."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    off = 0
+
+    def take() -> bytes:
+        nonlocal off
+        if off + 4 > len(raw):
+            raise ValueError("truncated stream container")
+        (n,) = struct.unpack_from(">I", raw, off)
+        off += 4
+        if off + n > len(raw):
+            raise ValueError("truncated packet")
+        chunk = raw[off : off + n]
+        off += n
+        return chunk
+
+    dec = SequenceDecoder.from_header(take())
+    frames: list[YuvFrame] = []
+    while off < len(raw):
+        frames.append(dec.decode_packet(take()))
+    return dec.cfg, frames

@@ -1,0 +1,334 @@
+"""Bitstream syntax: frame-level serialization of all coded elements.
+
+Defines the repository's concrete bitstream (an H.264-like but simplified
+layout, matching the CAVLC-lite entropy coder): a sequence header followed
+by per-frame packets. Every syntax element round-trips exactly, and the
+standalone decoder (:mod:`repro.codec.decoder`) reconstructs frames
+bit-identically to the encoder's reconstruction — the closed-loop,
+drift-free property of a correct hybrid codec.
+
+Packet layout
+-------------
+Sequence header: magic ``FEVS``, dimensions (in MBs), QPs, reference count,
+search range, and the enabled partition-mode list (the P-frame ``mode_idx``
+alphabet).
+
+I frame: ``1`` flag bit, then per MB in raster order: 16 luma level blocks,
+U DC group + 4 U AC blocks, V DC group + 4 V AC blocks. The DC predictors
+are derived by the decoder from its own reconstruction.
+
+P frame: ``0`` flag bit, then per MB in raster order: ``ue(mode_idx)`` and,
+per partition, ``ue(ref)`` + MVD (``se``×2, predicted from the decoded MV
+of the left MB's top-right 4×4 cell); then all luma level blocks in plane
+raster order, then U DC groups / U AC blocks, then V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.config import MB_SIZE, PARTITION_MODES, CodecConfig
+from repro.codec.entropy import (
+    get_coder,
+    read_se,
+    read_ue,
+    write_se,
+    write_ue,
+)
+from repro.codec.intra import IntraFrameResult, mpm_for_block
+from repro.codec.intra4 import I4_DC, decode_mode, encode_mode
+from repro.codec.slices import slice_start_block_rows
+from repro.codec.partitions import get_mode
+
+#: Stream magic ("FEVS").
+MAGIC = 0x46455653
+
+
+@dataclass
+class FrameSyntax:
+    """All syntax elements of one encoded frame (producer side)."""
+
+    is_intra: bool
+    intra: IntraFrameResult | None = None
+    mode_idx: np.ndarray | None = None
+    mv4: np.ndarray | None = None
+    ref4: np.ndarray | None = None
+    mode_shapes: tuple[tuple[int, int], ...] = ()
+    luma_levels: np.ndarray | None = None       # (n_blocks, 4, 4)
+    u_ac: np.ndarray | None = None              # (n_blocks_c, 4, 4)
+    u_dc: np.ndarray | None = None              # (n_mb, 2, 2)
+    v_ac: np.ndarray | None = None
+    v_dc: np.ndarray | None = None
+
+
+def write_sequence_header(w: BitWriter, cfg: CodecConfig) -> None:
+    """Serialize the stream-level parameters."""
+    w.write_bits(MAGIC, 32)
+    write_ue(w, cfg.width // MB_SIZE - 1)
+    write_ue(w, cfg.height // MB_SIZE - 1)
+    write_ue(w, cfg.qp_i)
+    write_ue(w, cfg.qp_p)
+    write_ue(w, cfg.num_ref_frames - 1)
+    write_ue(w, cfg.search_range - 1)
+    write_ue(w, len(cfg.enabled_partitions) - 1)
+    for shape in cfg.enabled_partitions:
+        write_ue(w, PARTITION_MODES.index(shape))
+    write_ue(w, 0 if cfg.entropy_coder == "lite" else 1)
+    write_ue(w, cfg.num_slices - 1)
+    w.write_bit(1 if cfg.deblock_across_slices else 0)
+
+
+def read_sequence_header(r: BitReader) -> CodecConfig:
+    """Parse the stream-level parameters back into a :class:`CodecConfig`."""
+    if r.read_bits(32) != MAGIC:
+        raise ValueError("not a FEVS stream (bad magic)")
+    width = (read_ue(r) + 1) * MB_SIZE
+    height = (read_ue(r) + 1) * MB_SIZE
+    qp_i = read_ue(r)
+    qp_p = read_ue(r)
+    num_refs = read_ue(r) + 1
+    search_range = read_ue(r) + 1
+    n_modes = read_ue(r) + 1
+    shapes = tuple(PARTITION_MODES[read_ue(r)] for _ in range(n_modes))
+    coder = ("lite", "cavlc")[read_ue(r)]
+    num_slices = read_ue(r) + 1
+    deblock_across = r.read_bit() == 1
+    return CodecConfig(
+        width=width,
+        height=height,
+        qp_i=qp_i,
+        qp_p=qp_p,
+        num_ref_frames=num_refs,
+        search_range=search_range,
+        enabled_partitions=shapes,
+        entropy_coder=coder,
+        num_slices=num_slices,
+        deblock_across_slices=deblock_across,
+    )
+
+
+def _mv_pred_from_grid(mv4: np.ndarray, mb_row: int, mb_col: int) -> np.ndarray:
+    """Decodable MV predictor: left MB's top-right 4×4 cell (0 at column 0)."""
+    if mb_col == 0:
+        return np.zeros(2, dtype=np.int64)
+    return mv4[4 * mb_row, 4 * mb_col - 1].astype(np.int64)
+
+
+def write_frame(
+    w: BitWriter, syn: FrameSyntax, coder=None, cfg: CodecConfig | None = None
+) -> None:
+    """Serialize one frame's syntax (``coder`` defaults to CAVLC-lite)."""
+    coder = coder or get_coder("lite")
+    w.write_bit(1 if syn.is_intra else 0)
+    if syn.is_intra:
+        _write_intra(w, syn, coder, cfg)
+    else:
+        _write_inter(w, syn, coder)
+
+
+def _write_intra(
+    w: BitWriter, syn: FrameSyntax, coder, cfg: CodecConfig | None = None
+) -> None:
+    intra = syn.intra
+    if intra is None or intra.luma_levels is None:
+        raise ValueError("intra frame was encoded without keep_syntax")
+    assert intra.luma_modes is not None and intra.chroma_modes is not None
+    assert intra.mb_types is not None and intra.i4_modes is not None
+    mb_rows, mb_cols = intra.mb_types.shape
+    grid_starts = (
+        slice_start_block_rows(cfg) if cfg is not None else frozenset((0,))
+    )
+    lmodes = intra.luma_modes.reshape(-1)
+    cmodes = intra.chroma_modes.reshape(-1)
+    types = intra.mb_types.reshape(-1)
+    # Replay the Intra_4x4 MPM context exactly as the decoder will.
+    grid = np.full((mb_rows * 4, mb_cols * 4), I4_DC, dtype=np.int32)
+    for mb in range(mb_rows * mb_cols):
+        mr, mc = divmod(mb, mb_cols)
+        w.write_bit(int(types[mb]))
+        if types[mb] == 0:
+            write_ue(w, int(lmodes[mb]))
+            grid[4 * mr : 4 * mr + 4, 4 * mc : 4 * mc + 4] = I4_DC
+        else:
+            for blk in range(16):
+                by, bx = divmod(blk, 4)
+                gy, gx = 4 * mr + by, 4 * mc + bx
+                mpm = mpm_for_block(grid, gy, gx, grid_starts)
+                mode = int(intra.i4_modes[mb, blk])
+                encode_mode(w, mode, mpm)
+                grid[gy, gx] = mode
+        write_ue(w, int(cmodes[mb]))
+        for blk in intra.luma_levels[mb]:
+            coder.write_block(w, blk)
+        for dc, ac in ((intra.u_dc, intra.u_ac), (intra.v_dc, intra.v_ac)):
+            assert dc is not None and ac is not None
+            coder.write_chroma_dc(w, dc[mb])
+            for blk in ac[mb]:
+                coder.write_block(w, blk)
+
+
+def _write_inter(w: BitWriter, syn: FrameSyntax, coder) -> None:
+    assert syn.mode_idx is not None and syn.mv4 is not None
+    assert syn.ref4 is not None and syn.luma_levels is not None
+    mb_rows, mb_cols = syn.mode_idx.shape
+    for r in range(mb_rows):
+        for c in range(mb_cols):
+            mode_i = int(syn.mode_idx[r, c])
+            write_ue(w, mode_i)
+            mode = get_mode(syn.mode_shapes[mode_i])
+            pred = _mv_pred_from_grid(syn.mv4, r, c)
+            for oy, ox in mode.origins:
+                gy, gx = (16 * r + int(oy)) // 4, (16 * c + int(ox)) // 4
+                qmv = syn.mv4[gy, gx].astype(np.int64)
+                write_ue(w, int(syn.ref4[gy, gx]))
+                write_se(w, int(qmv[0] - pred[0]))
+                write_se(w, int(qmv[1] - pred[1]))
+    for blk in syn.luma_levels:
+        coder.write_block(w, blk)
+    for dc_arr, ac_arr in ((syn.u_dc, syn.u_ac), (syn.v_dc, syn.v_ac)):
+        assert dc_arr is not None and ac_arr is not None
+        for dc in dc_arr:
+            coder.write_chroma_dc(w, dc)
+        for blk in ac_arr:
+            coder.write_block(w, blk)
+
+
+@dataclass
+class ParsedInterFrame:
+    """Decoder-side view of a P frame's syntax."""
+
+    mode_idx: np.ndarray
+    mv4: np.ndarray
+    ref4: np.ndarray
+    luma_levels: np.ndarray
+    u_ac: np.ndarray
+    u_dc: np.ndarray
+    v_ac: np.ndarray
+    v_dc: np.ndarray
+
+
+@dataclass
+class ParsedIntraFrame:
+    """Decoder-side view of an I frame's syntax."""
+
+    luma_levels: np.ndarray   # (n_mb, 16, 4, 4)
+    u_ac: np.ndarray          # (n_mb, 4, 4, 4)
+    u_dc: np.ndarray          # (n_mb, 2, 2)
+    v_ac: np.ndarray
+    v_dc: np.ndarray
+    luma_modes: np.ndarray | None = None    # (n_mb,) I16 modes
+    chroma_modes: np.ndarray | None = None
+    mb_types: np.ndarray | None = None      # (n_mb,) 0=I16, 1=I4
+    i4_modes: np.ndarray | None = None      # (n_mb, 16)
+
+
+def read_frame(
+    r: BitReader, cfg: CodecConfig
+) -> tuple[bool, ParsedIntraFrame | ParsedInterFrame]:
+    """Parse one frame packet. Returns ``(is_intra, parsed)``."""
+    coder = get_coder(cfg.entropy_coder)
+    is_intra = r.read_bit() == 1
+    if is_intra:
+        return True, _read_intra(r, cfg, coder)
+    return False, _read_inter(r, cfg, coder)
+
+
+def _read_intra(r: BitReader, cfg: CodecConfig, coder) -> ParsedIntraFrame:
+    n_mb = cfg.mb_rows * cfg.mb_cols
+    luma = np.zeros((n_mb, 16, 4, 4), dtype=np.int32)
+    u_ac = np.zeros((n_mb, 4, 4, 4), dtype=np.int32)
+    u_dc = np.zeros((n_mb, 2, 2), dtype=np.int32)
+    v_ac = np.zeros((n_mb, 4, 4, 4), dtype=np.int32)
+    v_dc = np.zeros((n_mb, 2, 2), dtype=np.int32)
+    lmodes = np.zeros(n_mb, dtype=np.int32)
+    cmodes = np.zeros(n_mb, dtype=np.int32)
+    types = np.zeros(n_mb, dtype=np.int32)
+    i4 = np.zeros((n_mb, 16), dtype=np.int32)
+    mb_cols = cfg.mb_cols
+    grid = np.full((cfg.mb_rows * 4, mb_cols * 4), I4_DC, dtype=np.int32)
+    grid_starts = slice_start_block_rows(cfg)
+    for mb in range(n_mb):
+        mr, mc = divmod(mb, mb_cols)
+        types[mb] = r.read_bit()
+        if types[mb] == 0:
+            lmodes[mb] = read_ue(r)
+            if lmodes[mb] > 3:
+                raise ValueError("invalid intra prediction mode")
+            grid[4 * mr : 4 * mr + 4, 4 * mc : 4 * mc + 4] = I4_DC
+        else:
+            for blk in range(16):
+                by, bx = divmod(blk, 4)
+                gy, gx = 4 * mr + by, 4 * mc + bx
+                mpm = mpm_for_block(grid, gy, gx, grid_starts)
+                mode = decode_mode(r, mpm)
+                i4[mb, blk] = mode
+                grid[gy, gx] = mode
+        cmodes[mb] = read_ue(r)
+        if cmodes[mb] > 3:
+            raise ValueError("invalid intra prediction mode")
+        for b in range(16):
+            luma[mb, b] = coder.read_block(r)
+        for dc, ac in ((u_dc, u_ac), (v_dc, v_ac)):
+            dc[mb] = coder.read_chroma_dc(r)
+            for b in range(4):
+                ac[mb, b] = coder.read_block(r)
+    return ParsedIntraFrame(
+        luma, u_ac, u_dc, v_ac, v_dc, lmodes, cmodes, types, i4
+    )
+
+
+def _read_inter(r: BitReader, cfg: CodecConfig, coder) -> ParsedInterFrame:
+    mb_rows, mb_cols = cfg.mb_rows, cfg.mb_cols
+    h, w = cfg.height, cfg.width
+    shapes = cfg.enabled_partitions
+    mode_idx = np.zeros((mb_rows, mb_cols), dtype=np.int32)
+    mv4 = np.zeros((h // 4, w // 4, 2), dtype=np.int32)
+    ref4 = np.zeros((h // 4, w // 4), dtype=np.int32)
+    for mr in range(mb_rows):
+        for mc in range(mb_cols):
+            mode_i = read_ue(r)
+            if mode_i >= len(shapes):
+                raise ValueError(f"invalid mode index {mode_i}")
+            mode_idx[mr, mc] = mode_i
+            mode = get_mode(shapes[mode_i])
+            pred = _mv_pred_from_grid(mv4, mr, mc)
+            bh, bw = mode.shape
+            for oy, ox in mode.origins:
+                ref = read_ue(r)
+                if ref >= 16:
+                    raise ValueError(f"invalid reference index {ref}")
+                qdy = read_se(r) + int(pred[0])
+                qdx = read_se(r) + int(pred[1])
+                if abs(qdy) > 1 << 16 or abs(qdx) > 1 << 16:
+                    raise ValueError("motion vector out of range")
+                gy, gx = (16 * mr + int(oy)) // 4, (16 * mc + int(ox)) // 4
+                mv4[gy : gy + bh // 4, gx : gx + bw // 4] = (qdy, qdx)
+                ref4[gy : gy + bh // 4, gx : gx + bw // 4] = ref
+    n_luma = (h // 4) * (w // 4)
+    luma = np.zeros((n_luma, 4, 4), dtype=np.int32)
+    for b in range(n_luma):
+        luma[b] = coder.read_block(r)
+    n_cblk = (h // 8) * (w // 8)
+    n_mb = mb_rows * mb_cols
+    out = {}
+    for plane in ("u", "v"):
+        dc = np.zeros((n_mb, 2, 2), dtype=np.int32)
+        for mb in range(n_mb):
+            dc[mb] = coder.read_chroma_dc(r)
+        ac = np.zeros((n_cblk, 4, 4), dtype=np.int32)
+        for b in range(n_cblk):
+            ac[b] = coder.read_block(r)
+        out[plane] = (ac, dc)
+    return ParsedInterFrame(
+        mode_idx=mode_idx,
+        mv4=mv4,
+        ref4=ref4,
+        luma_levels=luma,
+        u_ac=out["u"][0],
+        u_dc=out["u"][1],
+        v_ac=out["v"][0],
+        v_dc=out["v"][1],
+    )

@@ -1,0 +1,119 @@
+"""Performance analysis: utilization, efficiency and convergence diagnostics.
+
+Post-processing over :class:`FrameReport` sequences — the numbers a systems
+paper's evaluation section is built from:
+
+- per-resource utilization (busy fraction of compute/copy engines);
+- parallel efficiency against the *ideal aggregate* bound (every
+  distributable module perfectly split across devices, R\\* on the fastest
+  one, zero transfer cost);
+- convergence: how many frames the load balancer needs to settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.config import CodecConfig
+from repro.core.coding_manager import FrameReport
+from repro.hw.topology import Platform
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Mean busy fractions over a window of frames."""
+
+    per_resource: dict[str, float]
+
+    def compute_utilization(self, device: str) -> float:
+        """Busy fraction of a device's compute engine."""
+        return self.per_resource.get(f"{device}.compute", 0.0)
+
+    def busiest(self) -> tuple[str, float]:
+        if not self.per_resource:
+            return ("", 0.0)
+        name = max(self.per_resource, key=lambda k: self.per_resource[k])
+        return name, self.per_resource[name]
+
+
+def utilization_summary(
+    reports: list[FrameReport], skip: int = 2
+) -> UtilizationSummary:
+    """Average per-resource utilization over ``reports[skip:]``."""
+    window = reports[skip:] if len(reports) > skip else reports
+    if not window:
+        raise ValueError("no reports to analyze")
+    acc: dict[str, list[float]] = {}
+    for rep in window:
+        resources = {r.resource for r in rep.timeline.records}
+        for res in resources:
+            acc.setdefault(res, []).append(rep.timeline.utilization(res))
+    return UtilizationSummary(
+        per_resource={k: sum(v) / len(v) for k, v in acc.items()}
+    )
+
+
+def ideal_aggregate_fps(
+    platform: Platform, cfg: CodecConfig, active_refs: int | None = None
+) -> float:
+    """Upper bound: perfect splits, zero transfers, R* on the fastest device.
+
+    For each distributable module the pooled rate is the sum of device
+    rates (harmonic combination of per-row times); ME and INT can overlap
+    with nothing else, so the bound simply chains the pooled module times
+    plus the best R* block. Real FEVES can approach but never beat this.
+    """
+    refs = active_refs if active_refs is not None else cfg.num_ref_frames
+    n = cfg.mb_rows
+    total = 0.0
+    for module in ("me", "int", "sme"):
+        pooled_rate = 0.0
+        for dev in platform.devices:
+            r = dev.spec.rates
+            per_row = {
+                "me": r.me_row_s(cfg, refs),
+                "int": r.int_row_s(cfg),
+                "sme": r.sme_row_s(cfg),
+            }[module]
+            pooled_rate += 1.0 / per_row
+        total += n / pooled_rate
+    total += min(
+        dev.spec.rates.rstar_frame_s(cfg) for dev in platform.devices
+    )
+    return 1.0 / total
+
+
+def parallel_efficiency(
+    measured_fps: float, platform: Platform, cfg: CodecConfig,
+    active_refs: int | None = None,
+) -> float:
+    """Measured throughput as a fraction of the ideal aggregate bound."""
+    bound = ideal_aggregate_fps(platform, cfg, active_refs)
+    if bound <= 0:
+        raise ValueError("ideal bound must be positive")
+    return measured_fps / bound
+
+
+def convergence_frame(frame_times_s: list[float], rel_tol: float = 0.02) -> int:
+    """First 1-based frame index from which times stay within ``rel_tol``
+    of the final steady value (-1 if the trace never settles)."""
+    if not frame_times_s:
+        raise ValueError("empty trace")
+    steady = frame_times_s[-1]
+    for i, t in enumerate(frame_times_s):
+        tail = frame_times_s[i:]
+        if all(abs(x - steady) <= rel_tol * steady for x in tail):
+            return i + 1
+    return -1
+
+
+def communication_volume(reports: list[FrameReport], skip: int = 2) -> dict[str, float]:
+    """Mean per-frame transferred bytes by direction (steady state)."""
+    window = reports[skip:] if len(reports) > skip else reports
+    if not window:
+        raise ValueError("no reports to analyze")
+    out = {"h2d": 0.0, "d2h": 0.0}
+    for rep in window:
+        for direction in out:
+            out[direction] += rep.transfer_plan.total_bytes(direction)
+    return {k: v / len(window) for k, v in out.items()}

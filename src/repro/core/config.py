@@ -1,0 +1,103 @@
+"""Framework configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.noise import NoiseModel
+from repro.util.validation import check_range
+
+#: Execution modes: ``"model"`` advances only simulated time (benchmarks);
+#: ``"real"`` additionally runs the NumPy codec kernels and produces the
+#: actual encoded output (tests, examples).
+COMPUTE_MODES = ("model", "real")
+
+#: R* placement policies: ``"auto"`` runs the Dijkstra mapping each GOP,
+#: ``"gpu"``/``"cpu"`` force the paper's GPU-/CPU-centric configurations.
+CENTRIC_MODES = ("auto", "gpu", "cpu")
+
+
+@dataclass
+class FrameworkConfig:
+    """Tunables of the FEVES framework itself (not of the codec).
+
+    Parameters
+    ----------
+    compute:
+        ``"model"`` or ``"real"`` (see :data:`COMPUTE_MODES`).
+    centric:
+        R* placement policy (see :data:`CENTRIC_MODES`).
+    gop_size:
+        Real mode: insert an I frame every ``gop_size`` frames (periodic
+        intra refresh, resetting the reference window and the accelerator
+        buffer states); 0 = single leading I frame (the paper's IPPP).
+    ewma_alpha:
+        Weight of the newest measurement when updating the Performance
+        Characterization; 1.0 = trust the last frame entirely (the paper's
+        single-frame recovery behaviour), lower = smoother.
+    lp_delta_iterations:
+        Fixed-point iterations between the LP solve and the Δm/Δl
+        (MS_BOUNDS/LS_BOUNDS) recomputation.
+    sf_halo_rows:
+        Extra SF MB rows fetched above/below an SME band so vertical MV
+        components stay inside transferred data; ``None`` derives
+        ``ceil((search_range + 1) / 16)`` from the codec config.
+    noise:
+        Load-fluctuation model applied to simulated durations.
+    min_rows_per_device:
+        Floor on LP-assigned rows (0 allows devices to idle, the paper's
+        behaviour when a device would only add overhead).
+    lb_cache_rtol:
+        When every measured K changed by less than this relative tolerance
+        since the last LP solve, the previous decision is reused instead of
+        re-solving — steady-state scheduling overhead drops to bookkeeping
+        cost while any real load change (beyond the tolerance) still
+        triggers a fresh solve the same frame. 0 disables caching.
+    parallel_workers:
+        Real mode: run the codec kernels on this many threads, dispatching
+        each op when its DAG dependencies complete (NumPy releases the GIL,
+        so the collaborative execution is literally parallel). 0/1 =
+        serial; output is bit-identical either way.
+    enable_parking:
+        Allow the balancer to take accelerators fully offline (see
+        DESIGN.md → device parking). Disable to reproduce the paper's
+        always-participating behaviour (the robustness ablation).
+    rstar_parallel:
+        Model-mode what-if: distribute the R* block per-slice across
+        devices (requires ``num_slices > 1`` and
+        ``deblock_across_slices=False`` in the codec config — the slice
+        configuration that makes DBL parallel). Quantifies the alternative
+        the paper rejected in favour of single-device R*.
+    """
+
+    compute: str = "model"
+    centric: str = "auto"
+    gop_size: int = 0
+    ewma_alpha: float = 1.0
+    lp_delta_iterations: int = 2
+    sf_halo_rows: int | None = None
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    min_rows_per_device: int = 0
+    lb_cache_rtol: float = 0.02
+    parallel_workers: int = 0
+    enable_parking: bool = True
+    rstar_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute not in COMPUTE_MODES:
+            raise ValueError(
+                f"compute must be one of {COMPUTE_MODES}, got {self.compute!r}"
+            )
+        if self.centric not in CENTRIC_MODES:
+            raise ValueError(
+                f"centric must be one of {CENTRIC_MODES}, got {self.centric!r}"
+            )
+        if self.gop_size < 0:
+            raise ValueError("gop_size must be >= 0")
+        check_range("ewma_alpha", self.ewma_alpha, 0.01, 1.0)
+        check_range("lp_delta_iterations", self.lp_delta_iterations, 1, 10)
+        if self.sf_halo_rows is not None:
+            check_range("sf_halo_rows", self.sf_halo_rows, 0, 64)
+        check_range("min_rows_per_device", self.min_rows_per_device, 0, 8)
+        check_range("lb_cache_rtol", self.lb_cache_rtol, 0.0, 0.5)
+        check_range("parallel_workers", self.parallel_workers, 0, 64)

@@ -1,0 +1,111 @@
+"""Distribution vectors: MB-row workload splits across devices.
+
+The framework distributes each computationally intensive module at MB-row
+granularity: ``m`` for ME, ``l`` for INT and ``s`` for SME (paper §III.A).
+A distribution assigns each device a *contiguous band* of rows in device
+enumeration order — bands are prefix intervals, which is what makes the
+Data Access Management offsets (``m_{i-1}``, ``s_{i-1}`` … in Fig. 5) well
+defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Rows-per-device assignment for one module, in device order."""
+
+    rows: tuple[int, ...]
+    total: int
+
+    def __post_init__(self) -> None:
+        if any(r < 0 for r in self.rows):
+            raise ValueError(f"negative row counts: {self.rows}")
+        if sum(self.rows) != self.total:
+            raise ValueError(
+                f"distribution {self.rows} sums to {sum(self.rows)}, "
+                f"expected {self.total}"
+            )
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.rows)
+
+    def band(self, i: int) -> tuple[int, int]:
+        """``(row0, row0 + nrows)`` half-open band of device ``i``."""
+        start = sum(self.rows[:i])
+        return start, start + self.rows[i]
+
+    def bands(self) -> list[tuple[int, int]]:
+        """All device bands in order."""
+        return [self.band(i) for i in range(self.n_devices)]
+
+    @classmethod
+    def equidistant(cls, total: int, n_devices: int) -> "Distribution":
+        """The initialization-phase split: as equal as integer rows allow."""
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        base = total // n_devices
+        extra = total % n_devices
+        rows = tuple(base + (1 if i < extra else 0) for i in range(n_devices))
+        return cls(rows=rows, total=total)
+
+    @classmethod
+    def single_device(cls, total: int, n_devices: int, device: int) -> "Distribution":
+        """All rows on one device (single-device baselines)."""
+        rows = [0] * n_devices
+        rows[device] = total
+        return cls(rows=tuple(rows), total=total)
+
+
+def round_preserving_sum(fractions: np.ndarray, total: int) -> tuple[int, ...]:
+    """Largest-remainder rounding of non-negative reals to integers summing
+    to ``total`` (converts the LP's continuous solution to whole MB rows)."""
+    frac = np.asarray(fractions, dtype=np.float64)
+    if (frac < -1e-9).any():
+        raise ValueError(f"negative fractions: {frac}")
+    frac = np.clip(frac, 0.0, None)
+    s = frac.sum()
+    if s == 0:
+        return tuple(Distribution.equidistant(total, len(frac)).rows)
+    with np.errstate(invalid="ignore", over="ignore"):
+        frac = frac * (total / s)
+    if not np.isfinite(frac).all():  # guard subnormal inputs overflowing
+        return tuple(Distribution.equidistant(total, len(frac)).rows)
+    floor = np.floor(frac).astype(int)
+    short = total - int(floor.sum())
+    order = np.argsort(-(frac - floor))
+    out = floor.copy()
+    for k in range(short):
+        out[order[k % len(out)]] += 1
+    return tuple(int(x) for x in out)
+
+
+def overlap_rows(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Length of the intersection of two half-open row intervals."""
+    return max(0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def missing_segments(
+    need: tuple[int, int], have: tuple[int, int]
+) -> list[tuple[int, int]]:
+    """Sub-intervals of ``need`` not covered by ``have`` (≤ 2 segments).
+
+    This is the geometric core of MS_BOUNDS/LS_BOUNDS: the rows a device
+    must additionally fetch when two modules' bands over the same buffer
+    differ (paper Fig. 5's upper/bottom region pairs).
+    """
+    out: list[tuple[int, int]] = []
+    if need[0] >= need[1]:
+        return out
+    if have[0] >= have[1]:
+        return [need]
+    if need[0] < have[0]:
+        out.append((need[0], min(need[1], have[0])))
+    if need[1] > have[1]:
+        out.append((max(need[0], have[1]), need[1]))
+    return out

@@ -1,0 +1,330 @@
+"""Framework Control: paper Algorithm 1.
+
+Ties everything together:
+
+1. **Initialization phase** (first inter frame): detect devices, configure
+   the Video Coding Manager and Data Access Management, distribute the ME /
+   INT / SME loads *equidistantly*, execute, record times, and build the
+   initial Performance Characterization (including R* probes for the
+   Dijkstra mapping).
+2. **Iterative phase** (every subsequent inter frame): ask the Load
+   Balancing LP for new distributions based on the measured
+   characterization, execute collaboratively, and fold the new
+   measurements back in — adapting to load changes within one frame.
+
+Two run modes share this control loop: ``compute="model"`` advances only
+simulated time (1080p benchmark sweeps), ``compute="real"`` also executes
+the NumPy codec and returns bit-exact encoded frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.config import CodecConfig
+import numpy as np
+
+from repro.codec.encoder import EncodedFrame, deblock_frame
+from repro.codec.frames import YuvFrame
+from repro.codec.intra import intra_encode_frame
+from repro.codec.quality import frame_psnr
+from repro.codec.gop import ReferenceStore
+from repro.core.coding_manager import FrameReport, RealContext, VideoCodingManager
+from repro.core.config import FrameworkConfig
+from repro.core.data_access import DataAccessManager, TransferPlan
+from repro.core.distribution import Distribution
+from repro.core.load_balancing import LoadDecision
+from repro.hw.timeline import FrameTimeline
+from repro.core.load_balancing import LoadBalancer
+from repro.core.perf_model import PerformanceCharacterization
+from repro.core.rstar import select_rstar_device
+from repro.hw.interconnect import BufferSizes
+from repro.hw.timeline import EncodingTrace
+from repro.hw.topology import Platform
+from repro.util.timing import WallTimer
+
+
+@dataclass
+class FrameOutcome:
+    """Per-frame result surfaced to callers."""
+
+    report: FrameReport
+    encoded: EncodedFrame | None = None
+
+    @property
+    def time_s(self) -> float:
+        return self.report.tau_tot
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.report.tau_tot if self.report.tau_tot > 0 else 0.0
+
+
+class FevesFramework:
+    """The FEVES unified collaborative video-encoding framework."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        codec_cfg: CodecConfig,
+        fw_cfg: FrameworkConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.codec_cfg = codec_cfg
+        self.fw_cfg = fw_cfg or FrameworkConfig()
+        sizes = BufferSizes(width=codec_cfg.width, height=codec_cfg.height)
+
+        # Algorithm 1, lines 1-2: "detect" devices and instantiate blocks.
+        self.perf = PerformanceCharacterization(alpha=self.fw_cfg.ewma_alpha)
+        self.balancer = LoadBalancer(platform, codec_cfg, self.fw_cfg)
+        self.manager = VideoCodingManager(platform, codec_cfg, self.fw_cfg)
+        self.dam = DataAccessManager(
+            platform, sizes, enable_parking=self.fw_cfg.enable_parking
+        )
+
+        self._inter_frames_done = 0
+        self._frames_since_intra = 0
+        self._rstar_device = self._initial_rstar_device()
+        self.lb_timer = WallTimer()
+        self.trace = EncodingTrace(platform=platform.name)
+        self.reports: list[FrameReport] = []
+
+        # Real-compute state.
+        self._store = ReferenceStore(max_refs=codec_cfg.num_ref_frames)
+
+    # -------------------------------------------------------------------------
+
+    def _initial_rstar_device(self) -> str:
+        """Default R* placement before any characterization exists."""
+        gpus = self.platform.gpus
+        cpu = self.platform.cpu
+        if self.fw_cfg.centric == "cpu" and cpu is not None:
+            return cpu.name
+        if gpus:
+            return gpus[0].name
+        assert cpu is not None
+        return cpu.name
+
+    @property
+    def rstar_device(self) -> str:
+        return self._rstar_device
+
+    def _maybe_reselect_rstar(self) -> None:
+        """After initialization, map R* with the Dijkstra routine (auto)."""
+        if self.fw_cfg.centric != "auto":
+            return
+        estimates = {
+            d.name: t
+            for d in self.platform.devices
+            if (t := self.perf.rstar_frame_s(d.name)) is not None
+        }
+        if len(estimates) < 2:
+            return
+        decision = select_rstar_device(self.platform, estimates, self.codec_cfg)
+        self._rstar_device = decision.device
+
+    # ------------------------- model mode ------------------------------------
+
+    def run_model(self, n_inter_frames: int) -> list[FrameOutcome]:
+        """Encode ``n_inter_frames`` in model mode (timing only).
+
+        Frame indices are 1-based to match the paper's Fig. 7 (frame 1 is
+        the equidistant initialization frame).
+        """
+        if n_inter_frames < 1:
+            raise ValueError("need at least one inter frame")
+        out = []
+        for _ in range(n_inter_frames):
+            out.append(self._encode_inter(None))
+        return out
+
+    # ------------------------- real mode --------------------------------------
+
+    def encode(self, frames: list[YuvFrame]) -> list[FrameOutcome]:
+        """Encode a sequence in real mode.
+
+        Frame 0 — and, when ``gop_size`` is set, every ``gop_size``-th
+        frame — is coded intra on the host (the paper's evaluation, like
+        ours, times only the inter loop), resetting the reference window
+        and the accelerators' buffer state; all other frames run the
+        collaborative inter loop.
+        """
+        if self.fw_cfg.compute != "real":
+            raise RuntimeError('encode() requires FrameworkConfig(compute="real")')
+        outcomes: list[FrameOutcome] = []
+        gop = self.fw_cfg.gop_size
+        for f, cur in enumerate(frames):
+            if f == 0 or (gop > 0 and f % gop == 0):
+                outcomes.append(self._encode_intra_host(cur, f))
+            else:
+                outcomes.append(self._encode_inter(cur))
+        return outcomes
+
+    def _encode_intra_host(self, cur: YuvFrame, index: int) -> FrameOutcome:
+        """Code an I frame on the host (untimed) and reset device state.
+
+        A new GOP discards the reference window: the reconstructed RF lives
+        in host memory, so every accelerator must refetch it and the
+        deferred-SF backlog is void (Data Access Management reset).
+        """
+        result = intra_encode_frame(cur, self.codec_cfg)
+        h, w = cur.y.shape
+        intra4 = np.ones((h // 4, w // 4), dtype=bool)
+        mv4 = np.zeros((h // 4, w // 4, 2), dtype=np.int32)
+        ref4 = np.full((h // 4, w // 4), -1, dtype=np.int32)
+        from repro.codec.slices import dbl_skip_luma_rows
+
+        recon = deblock_frame(result.recon, mv4, ref4, result.cnz4, intra4,
+                              self.codec_cfg.qp_i,
+                              skip_luma_rows=dbl_skip_luma_rows(self.codec_cfg))
+        self._store.reset(recon)
+        self.dam.reset_after_intra()
+        self._frames_since_intra = 0
+        encoded = EncodedFrame(
+            index=index,
+            is_intra=True,
+            bits=result.bits,
+            psnr=frame_psnr(cur, recon),
+            recon=recon,
+        )
+        return FrameOutcome(report=_intra_report(), encoded=encoded)
+
+    # ------------------------- shared control loop ----------------------------
+
+    def _encode_inter(self, cur: YuvFrame | None) -> FrameOutcome:
+        self._inter_frames_done += 1
+        idx = self._inter_frames_done
+        is_init = idx == 1
+        n_devices = len(self.platform.devices)
+        names = [d.name for d in self.platform.devices]
+        accel = [d.name for d in self.platform.devices if d.is_accelerator]
+
+        # Active references ramp up at the start of each GOP (Fig. 7(b)).
+        self._frames_since_intra += 1
+        active_refs = min(self._frames_since_intra, self.codec_cfg.num_ref_frames)
+
+        # Algorithm 1 line 3 / line 8 (the <2 ms scheduling overhead the
+        # paper reports is exactly the work timed here).
+        with self.lb_timer:
+            if is_init or not self.perf.ready_for_lp(names, accel):
+                decision = self.balancer.equidistant()
+            else:
+                decision = self.balancer.solve(
+                    perf=self.perf,
+                    rstar_device=self._rstar_device,
+                    needs_rf=self.dam.needs_rf(),
+                    sigma_r_prev=dict(self.dam.sigma_r_rows),
+                )
+            plan = self.dam.plan(decision, self._rstar_device)
+
+        ctx = self._build_ctx(cur, idx) if cur is not None else None
+        report = self.manager.run_frame(
+            frame_index=idx,
+            decision=decision,
+            rstar_device=self._rstar_device,
+            plan=plan,
+            active_refs=active_refs,
+            perf=self.perf,
+            ctx=ctx,
+            probe_rstar=is_init and n_devices > 1,
+        )
+        self.dam.commit(decision, self._rstar_device)
+        if (
+            self.fw_cfg.rstar_parallel
+            and self.codec_cfg.num_slices > 1
+            and not self.codec_cfg.deblock_across_slices
+        ):
+            # Parallel R*: the new RF is reassembled on the host, so no
+            # single accelerator holds it.
+            self.dam.rf_holder = None
+        if is_init:
+            self._maybe_reselect_rstar()
+
+        if ctx is not None and ctx.encoded is not None:
+            assert ctx.sf_new is not None
+            self._store.push_sf(ctx.sf_new)
+            self._store.push(ctx.encoded.recon)
+
+        self.trace.add(report.timeline)
+        self.reports.append(report)
+        return FrameOutcome(report=report, encoded=ctx.encoded if ctx else None)
+
+    def _build_ctx(self, cur: YuvFrame, idx: int) -> RealContext:
+        store = self._store
+        refs = store.active_refs()
+        # SFs of all active refs except the newest (interpolated this frame).
+        sfs_prev = store.sfs[: max(0, store.num_active - 1)]
+        return RealContext(
+            cur=cur,
+            refs_y=[r.y for r in refs],
+            rf_new_y=store.frames[0].y,
+            sfs_prev=list(sfs_prev),
+            chroma=store.active_chroma(),
+            cfg=self.codec_cfg,
+            qp=self.codec_cfg.qp_p,
+            frame_index=idx,
+        )
+
+    # ------------------------- reporting --------------------------------------
+
+    @property
+    def scheduling_overhead_ms(self) -> float:
+        """Mean wall-clock milliseconds of LB + transfer planning per frame."""
+        return self.lb_timer.mean_s * 1e3
+
+    def frame_times_ms(self) -> list[float]:
+        """Simulated τtot per inter frame, in ms (paper Fig. 7 y-axis)."""
+        return [t * 1e3 for t in self.trace.frame_times_s]
+
+    def steady_state_fps(self, warmup: int = 2) -> float:
+        """fps once the load balancing has converged (paper Fig. 6)."""
+        return self.trace.steady_state_fps(warmup=warmup)
+
+    def summary(self) -> dict:
+        """Headline numbers of the run so far (for logs and notebooks).
+
+        Keys: ``platform``, ``frames``, ``steady_fps``, ``realtime``
+        (≥25 fps), ``rstar_device``, ``lb_overhead_ms``, per-module final
+        distributions, and steady-state compute utilization per device.
+        """
+        if not self.reports:
+            raise RuntimeError("nothing encoded yet")
+        from repro.core.analysis import utilization_summary
+
+        last = self.reports[-1].decision
+        names = [d.name for d in self.platform.devices]
+        util = utilization_summary(self.reports)
+        fps = self.steady_state_fps()
+        return {
+            "platform": self.platform.name,
+            "frames": len(self.reports),
+            "steady_fps": fps,
+            "realtime": fps >= 25.0,
+            "rstar_device": self._rstar_device,
+            "lb_overhead_ms": self.scheduling_overhead_ms,
+            "distribution": {
+                "devices": names,
+                "me": last.m.rows,
+                "int": last.l.rows,
+                "sme": last.s.rows,
+            },
+            "compute_utilization": {
+                name: util.compute_utilization(name) for name in names
+            },
+        }
+
+
+def _intra_report() -> FrameReport:
+    """Placeholder report for the (untimed) intra frame."""
+    dist = Distribution(rows=(0,), total=0)
+    decision = LoadDecision(m=dist, l=dist, s=dist, delta_m=[], delta_l=[])
+    return FrameReport(
+        frame_index=0,
+        tau1=0.0,
+        tau2=0.0,
+        tau_tot=0.0,
+        timeline=FrameTimeline(frame_index=0, records=[]),
+        decision=decision,
+        rstar_device="",
+        transfer_plan=TransferPlan(),
+    )

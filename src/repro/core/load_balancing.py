@@ -1,0 +1,508 @@
+"""Load Balancing: the linear program of paper Algorithm 2.
+
+Distributes the ME / INT / SME loads (vectors ``m``, ``l``, ``s`` in MB
+rows) across all devices to minimize the total inter-loop time τtot,
+subject to per-synchronization-point feasibility of every compute engine
+and copy engine, using the measured Performance Characterization.
+
+The Δm/Δl data-reuse terms (MS_BOUNDS/LS_BOUNDS) depend on the very
+distributions being solved for, so — as in the paper — they enter the LP
+as constants and are refined by a short fixed-point iteration: solve LP →
+recompute Δ from the solution → re-solve. The continuous solution is then
+rounded to whole MB rows (largest-remainder, sum-preserving), and the SF
+catch-up transfers σ/σʳ are sized from the predicted τtot − τ2 window
+(paper eqs. (14)–(15)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations as _combinations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.codec.config import CodecConfig
+from repro.core.bounds import ExtraTransfers, ls_bounds, ms_bounds, sf_remainder_segments
+from repro.core.config import FrameworkConfig
+from repro.core.distribution import Distribution, round_preserving_sum
+from repro.core.perf_model import PerformanceCharacterization
+from repro.hw.interconnect import BufferSizes
+from repro.hw.topology import Platform
+
+
+@dataclass
+class LoadDecision:
+    """Complete per-frame scheduling decision."""
+
+    m: Distribution
+    l: Distribution
+    s: Distribution
+    delta_m: list[ExtraTransfers]
+    delta_l: list[ExtraTransfers]
+    sigma: dict[str, ExtraTransfers] = field(default_factory=dict)
+    sigma_r: dict[str, ExtraTransfers] = field(default_factory=dict)
+    tau1_pred: float = 0.0
+    tau2_pred: float = 0.0
+    tau_tot_pred: float = 0.0
+    used_lp: bool = False
+
+    def rows_for(self, module: str, device_index: int) -> int:
+        dist = {"me": self.m, "int": self.l, "sme": self.s}[module]
+        return dist.rows[device_index]
+
+
+def _empty_extra() -> ExtraTransfers:
+    return ExtraTransfers(segments=(), rows=0)
+
+
+class LoadBalancer:
+    """Builds and solves the Algorithm-2 LP for one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        codec_cfg: CodecConfig,
+        fw_cfg: FrameworkConfig,
+    ) -> None:
+        self.platform = platform
+        self.codec_cfg = codec_cfg
+        self.fw_cfg = fw_cfg
+        self.sizes = BufferSizes(width=codec_cfg.width, height=codec_cfg.height)
+        if fw_cfg.sf_halo_rows is None:
+            self.halo = -(-(codec_cfg.search_range + 1) // 16)
+        else:
+            self.halo = fw_cfg.sf_halo_rows
+        self._cache_ks: np.ndarray | None = None
+        self._cache_key: tuple | None = None
+        self._cache_decision: LoadDecision | None = None
+        self._seed: tuple[Distribution, Distribution, Distribution] | None = None
+
+    # --- public API ----------------------------------------------------------
+
+    def equidistant(self) -> LoadDecision:
+        """Initialization-phase decision (Algorithm 1, line 3)."""
+        n = self.codec_cfg.mb_rows
+        d = len(self.platform.devices)
+        dist = Distribution.equidistant(n, d)
+        return self._finalize(dist, dist, dist, tau=(0.0, 0.0, 0.0), used_lp=False)
+
+    def solve(
+        self,
+        perf: PerformanceCharacterization,
+        rstar_device: str,
+        needs_rf: dict[str, bool],
+        sigma_r_prev: dict[str, int],
+    ) -> LoadDecision:
+        """Iterative-phase decision (Algorithm 1, line 8).
+
+        Parameters
+        ----------
+        perf:
+            Current characterization; must be :meth:`ready_for_lp`.
+        rstar_device:
+            Device selected for the R* block this frame.
+        needs_rf:
+            Per accelerator: does it need the newest RF via h2d (False for
+            the accelerator that produced it locally by running R*).
+        sigma_r_prev:
+            Per accelerator: SF rows deferred from the previous frame
+            (σʳ⁻¹ in Algorithm 2), transferred during this frame's τ1.
+        """
+        devices = self.platform.devices
+        names = [d.name for d in devices]
+        accel = [d.name for d in devices if d.is_accelerator]
+        if not perf.ready_for_lp(names, accel):
+            return self.equidistant()
+        if len(devices) == 1:
+            n = self.codec_cfg.mb_rows
+            dist = Distribution.single_device(n, 1, 0)
+            return self._finalize(dist, dist, dist, (0, 0, 0), used_lp=False)
+
+        # Decision cache: if no measured K moved beyond the tolerance and
+        # the discrete inputs are identical, the previous decision is still
+        # optimal — skip the solve (keeps steady-state scheduling overhead
+        # at bookkeeping level; any real load change re-solves this frame).
+        ks = self._k_vector(perf, names, accel)
+        key = (
+            rstar_device,
+            tuple(sorted(needs_rf.items())),
+            tuple(sorted(sigma_r_prev.items())),
+        )
+        rtol = self.fw_cfg.lb_cache_rtol
+        if (
+            rtol > 0
+            and self._cache_decision is not None
+            and self._cache_key == key
+            and self._cache_ks is not None
+            and self._cache_ks.shape == ks.shape
+            and np.all(np.abs(ks - self._cache_ks) <= rtol * np.abs(self._cache_ks))
+        ):
+            return self._cache_decision
+
+        # Activity-subset search: devices whose steady-state SF maintenance
+        # cost exceeds their contribution are better "parked" entirely (an
+        # option the base LP cannot express because the maintenance term is
+        # gated by participation). Enumerate active subsets of the parkable
+        # accelerators (non-R* GPUs) and keep the best steady-state τtot.
+        parkable = [
+            i
+            for i, dev in enumerate(devices)
+            if dev.is_accelerator and dev.name != rstar_device
+        ]
+        if not self.fw_cfg.enable_parking:
+            parkable = []
+        subsets: list[frozenset[int]]
+        if len(parkable) <= 3:
+            subsets = [
+                frozenset(c)
+                for k in range(len(parkable) + 1)
+                for c in _combinations(parkable, k)
+            ]
+        else:  # all-active plus leave-one-out (keeps solve count linear)
+            subsets = [frozenset()] + [frozenset((i,)) for i in parkable]
+
+        best = None
+        for parked in subsets:
+            result = self._solve_with_fixed_point(
+                perf, rstar_device, needs_rf, sigma_r_prev, parked
+            )
+            if result is None:
+                continue
+            m, l, s, taus = result
+            if best is None or taus[2] < best[3][2]:
+                best = (m, l, s, taus)
+        if best is None:
+            return self._heuristic(perf)
+        m, l, s, taus = best
+        decision = self._finalize(
+            m, l, s, taus, used_lp=True, perf=perf, rstar_device=rstar_device
+        )
+        self._seed = (m, l, s)
+        self._cache_ks = ks
+        self._cache_key = key
+        self._cache_decision = decision
+        return decision
+
+    def _solve_with_fixed_point(
+        self,
+        perf: PerformanceCharacterization,
+        rstar_device: str,
+        needs_rf: dict[str, bool],
+        sigma_r_prev: dict[str, int],
+        parked: frozenset[int],
+    ):
+        """Δ fixed-point iteration of the LP for one active subset."""
+        n = self.codec_cfg.mb_rows
+        d = len(self.platform.devices)
+        if self._seed is not None and self._seed[0].n_devices == d and not parked:
+            m, l, s = self._seed
+        else:
+            active = [i for i in range(d) if i not in parked]
+            rows = [0] * d
+            per = Distribution.equidistant(n, len(active))
+            for k, i in enumerate(active):
+                rows[i] = per.rows[k]
+            m = l = s = Distribution(rows=tuple(rows), total=n)
+        solution = None
+        prev_rows: tuple | None = None
+        for _ in range(self.fw_cfg.lp_delta_iterations):
+            dm = [ms_bounds(m, s, i).rows for i in range(d)]
+            dl = [ls_bounds(l, s, i, self.halo).rows for i in range(d)]
+            solution = self._solve_lp(
+                perf, rstar_device, needs_rf, sigma_r_prev, dm, dl, parked
+            )
+            if solution is None:
+                return None
+            mf, lf, sf, taus = solution
+            m = Distribution(rows=round_preserving_sum(mf, n), total=n)
+            l = Distribution(rows=round_preserving_sum(lf, n), total=n)
+            s = Distribution(rows=round_preserving_sum(sf, n), total=n)
+            rows = (m.rows, l.rows, s.rows)
+            if rows == prev_rows:  # Δ fixed point reached
+                break
+            prev_rows = rows
+        return m, l, s, taus
+
+    # --- internals -----------------------------------------------------------
+
+    def _k_vector(
+        self,
+        perf: PerformanceCharacterization,
+        names: list[str],
+        accel: list[str],
+    ) -> np.ndarray:
+        """All measured speeds the LP consumes, flattened (for the cache)."""
+        vals: list[float] = []
+        for name in names:
+            for module in ("me", "int", "sme"):
+                vals.append(perf.k_compute(name, module) or 0.0)
+            vals.append(perf.rstar_frame_s(name) or 0.0)
+        for name in accel:
+            vals.append(perf.bandwidth(name, "h2d") or 0.0)
+            vals.append(perf.bandwidth(name, "d2h") or 0.0)
+        return np.array(vals)
+
+    def _heuristic(self, perf: PerformanceCharacterization) -> LoadDecision:
+        """Speed-proportional fallback when the LP is infeasible."""
+        n = self.codec_cfg.mb_rows
+        devices = self.platform.devices
+        dists = []
+        for module in ("me", "int", "sme"):
+            ks = np.array(
+                [perf.k_compute(dev.name, module) or 1.0 for dev in devices]
+            )
+            speed = 1.0 / np.maximum(ks, 1e-12)
+            dists.append(
+                Distribution(
+                    rows=round_preserving_sum(speed, n), total=n
+                )
+            )
+        return self._finalize(dists[0], dists[1], dists[2], (0, 0, 0), used_lp=False)
+
+    def _finalize(
+        self,
+        m: Distribution,
+        l: Distribution,
+        s: Distribution,
+        tau: tuple[float, float, float],
+        used_lp: bool,
+        perf: PerformanceCharacterization | None = None,
+        rstar_device: str | None = None,
+    ) -> LoadDecision:
+        devices = self.platform.devices
+        d = len(devices)
+        delta_m = [
+            ms_bounds(m, s, i) if devices[i].is_accelerator else _empty_extra()
+            for i in range(d)
+        ]
+        delta_l = [
+            ls_bounds(l, s, i, self.halo) if devices[i].is_accelerator else _empty_extra()
+            for i in range(d)
+        ]
+        sigma: dict[str, ExtraTransfers] = {}
+        sigma_r: dict[str, ExtraTransfers] = {}
+        tau1, tau2, tau_tot = tau
+        for i, dev in enumerate(devices):
+            if not dev.is_accelerator:
+                continue
+            if rstar_device is not None and dev.name == rstar_device:
+                # The R* accelerator receives the complete SF for MC in
+                # phase 2 — nothing is deferred (paper Fig. 5(b)).
+                continue
+            if m.rows[i] + l.rows[i] + s.rows[i] == 0:
+                # Idle ("parked") accelerator: stop mirroring the SF; the
+                # Data Access Manager charges a full refetch if the device
+                # is reactivated later.
+                continue
+            budget = self.codec_cfg.mb_rows
+            if perf is not None and tau_tot > tau2:
+                k_sf = perf.k_transfer(dev.name, "sf", "h2d", self.sizes)
+                if k_sf and k_sf > 0:
+                    budget = int((tau_tot - tau2) / k_sf)
+            sg, rem = sf_remainder_segments(l, s, i, self.halo, budget)
+            sigma[dev.name] = sg
+            sigma_r[dev.name] = rem
+        return LoadDecision(
+            m=m,
+            l=l,
+            s=s,
+            delta_m=delta_m,
+            delta_l=delta_l,
+            sigma=sigma,
+            sigma_r=sigma_r,
+            tau1_pred=tau1,
+            tau2_pred=tau2,
+            tau_tot_pred=tau_tot,
+            used_lp=used_lp,
+        )
+
+    def _solve_lp(
+        self,
+        perf: PerformanceCharacterization,
+        rstar_device: str,
+        needs_rf: dict[str, bool],
+        sigma_r_prev: dict[str, int],
+        dm: list[int],
+        dl: list[int],
+        parked: frozenset[int] = frozenset(),
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[float, float, float]] | None:
+        """One LP solve with Δ terms fixed. Returns (m, l, s, taus) or None.
+
+        ``parked`` devices are excluded entirely (zero rows, no transfer
+        obligations). Every *active* non-R* accelerator additionally gets a
+        σ variable and the steady-state SF-maintenance constraint: the SF
+        rows it neither interpolated nor fetched as Δl must flow in either
+        during τ2..τtot (σ) or during the next frame's τ1 (the backlog),
+        which is what stops the LP from myopically assigning work to
+        devices behind links too slow to keep their SF mirror warm.
+        """
+        devices = self.platform.devices
+        d = len(devices)
+        n = self.codec_cfg.mb_rows
+        # σ variables for active non-R* accelerators.
+        sigma_devs = [
+            i
+            for i, dev in enumerate(devices)
+            if dev.is_accelerator and dev.name != rstar_device and i not in parked
+        ]
+        nv = 3 * d + 3 + len(sigma_devs)
+        i_m = lambda i: i                    # noqa: E731
+        i_l = lambda i: d + i                # noqa: E731
+        i_s = lambda i: 2 * d + i            # noqa: E731
+        i_t1, i_t2, i_tt = 3 * d, 3 * d + 1, 3 * d + 2
+        i_sig = {dev_i: 3 * d + 3 + k for k, dev_i in enumerate(sigma_devs)}
+
+        a_ub: list[np.ndarray] = []
+        b_ub: list[float] = []
+
+        def add(coef: dict[int, float], rhs: float) -> None:
+            row = np.zeros(nv)
+            for k, v in coef.items():
+                row[k] += v
+            a_ub.append(row)
+            b_ub.append(rhs)
+
+        sizes = self.sizes
+        kt = lambda name, buf, dr: perf.k_transfer(name, buf, dr, sizes)  # noqa: E731
+
+        for i, dev in enumerate(devices):
+            name = dev.name
+            if i in parked:
+                continue  # zero bounds below; no constraints needed
+            km = perf.k_compute(name, "me")
+            kl = perf.k_compute(name, "int")
+            ks = perf.k_compute(name, "sme")
+            if km is None or kl is None or ks is None:
+                return None
+            # (2)-style compute capacity before τ1: INT + ME share the engine.
+            add({i_m(i): km, i_l(i): kl, i_t1: -1.0}, 0.0)
+            # (3)-style: SME fits in τ1..τ2.
+            add({i_s(i): ks, i_t1: 1.0, i_t2: -1.0}, 0.0)
+
+            if not dev.is_accelerator:
+                if name == rstar_device:
+                    trs = perf.rstar_frame_s(name) or 0.0
+                    add({i_t2: 1.0, i_tt: -1.0}, -trs)
+                continue
+
+            k_cf = kt(name, "cf", "h2d")
+            k_cff = kt(name, "cf_full", "h2d")
+            k_rf_hd = kt(name, "rf", "h2d")
+            k_rf_dh = kt(name, "rf", "d2h")
+            k_sf_hd = kt(name, "sf", "h2d")
+            k_sf_dh = kt(name, "sf", "d2h")
+            k_mv_hd = kt(name, "mv", "h2d")
+            k_mv_dh = kt(name, "mv", "d2h")
+            if None in (k_cf, k_cff, k_rf_hd, k_rf_dh, k_sf_hd, k_sf_dh, k_mv_hd, k_mv_dh):
+                return None
+            rf_rows = n if needs_rf.get(name, True) else 0
+            fixed1 = (
+                rf_rows * k_rf_hd
+                + dm[i] * k_cf
+                + sigma_r_prev.get(name, 0) * k_sf_hd
+            )
+            single = dev.copy_h2d is dev.copy_d2h
+            if single:
+                # (4)–(6)/(10)–(12): one engine moves everything before τ1.
+                add(
+                    {i_m(i): k_cf + k_mv_dh, i_l(i): k_sf_dh, i_t1: -1.0},
+                    -fixed1,
+                )
+            else:
+                add({i_m(i): k_cf, i_t1: -1.0}, -fixed1)          # h2d engine
+                add({i_m(i): k_mv_dh, i_l(i): k_sf_dh, i_t1: -1.0}, 0.0)  # d2h
+            # Critical paths through compute: RF→CF→ME→MV_out, RF→INT→SF_out.
+            add({i_m(i): k_cf + km + k_mv_dh, i_t1: -1.0}, -rf_rows * k_rf_hd)
+            add({i_l(i): kl + k_sf_dh, i_t1: -1.0}, -rf_rows * k_rf_hd)
+
+            fixed2 = dl[i] * k_sf_hd + dm[i] * k_mv_hd
+            if name == rstar_device:
+                # (8): MC inputs stream in during SME on the R* accelerator.
+                add(
+                    {
+                        i_m(i): -k_cff,
+                        i_l(i): -k_sf_hd,
+                        i_t1: 1.0,
+                        i_t2: -1.0,
+                    },
+                    -(fixed2 + n * k_cff + n * k_sf_hd - dm[i] * k_cff - dl[i] * k_sf_hd),
+                )
+                # Path: Δ in, SME compute (MVs stay local).
+                add({i_s(i): ks, i_t1: 1.0, i_t2: -1.0}, -fixed2)
+                # (9): missing MVs in, R* block, RF back to host.
+                trs = perf.rstar_frame_s(name) or 0.0
+                add(
+                    {i_s(i): -k_mv_hd, i_t2: 1.0, i_tt: -1.0},
+                    -(n * k_mv_hd + trs + n * k_rf_dh),
+                )
+            else:
+                # (13): Δ in, SME, SME MVs out, all within τ1..τ2.
+                add(
+                    {i_s(i): ks + k_mv_dh, i_t1: 1.0, i_t2: -1.0},
+                    -fixed2,
+                )
+                if single:
+                    add({i_s(i): k_mv_dh, i_t1: 1.0, i_t2: -1.0}, -fixed2)
+                # Steady-state SF maintenance ((14)/(15) made endogenous):
+                # σ_i fits in the τ2..τtot window, never exceeds what is
+                # still missing, and the remainder (the next frame's σʳ
+                # backlog) must fit the phase-1 copy engine alongside the
+                # regular phase-1 traffic.
+                sig = i_sig[i]
+                add({sig: k_sf_hd, i_t2: 1.0, i_tt: -1.0}, 0.0)     # (14)
+                add({sig: 1.0, i_l(i): 1.0}, float(n - dl[i]))      # σ ≤ missing
+                backlog_fixed = rf_rows * k_rf_hd + dm[i] * k_cf + (n - dl[i]) * k_sf_hd
+                if single:
+                    add(
+                        {
+                            i_m(i): k_cf + k_mv_dh,
+                            i_l(i): k_sf_dh - k_sf_hd,
+                            sig: -k_sf_hd,
+                            i_t1: -1.0,
+                        },
+                        -backlog_fixed,
+                    )
+                else:
+                    add(
+                        {
+                            i_m(i): k_cf,
+                            i_l(i): -k_sf_hd,
+                            sig: -k_sf_hd,
+                            i_t1: -1.0,
+                        },
+                        -backlog_fixed,
+                    )
+
+        # τ ordering.
+        add({i_t1: 1.0, i_t2: -1.0}, 0.0)
+        add({i_t2: 1.0, i_tt: -1.0}, 0.0)
+
+        a_eq = np.zeros((3, nv))
+        a_eq[0, 0:d] = 1.0
+        a_eq[1, d : 2 * d] = 1.0
+        a_eq[2, 2 * d : 3 * d] = 1.0
+        b_eq = np.array([n, n, n], dtype=float)
+
+        lo = float(self.fw_cfg.min_rows_per_device)
+        bounds = [(lo, float(n))] * (3 * d) + [(0.0, None)] * 3
+        bounds += [(0.0, float(n))] * len(sigma_devs)
+        for i in parked:
+            for idx in (i_m(i), i_l(i), i_s(i)):
+                bounds[idx] = (0.0, 0.0)
+        c = np.zeros(nv)
+        c[i_tt] = 1.0
+        res = linprog(
+            c,
+            A_ub=np.array(a_ub),
+            b_ub=np.array(b_ub),
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if not res.success:
+            return None
+        x = res.x
+        taus = (float(x[i_t1]), float(x[i_t2]), float(x[i_tt]))
+        return x[0:d], x[d : 2 * d], x[2 * d : 3 * d], taus

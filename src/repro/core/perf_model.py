@@ -1,0 +1,164 @@
+"""Performance Characterization: online measurement of device and link speeds.
+
+Paper §III.C: the LP consumes per-device/module processing times per MB row
+(K^m, K^l, K^s), the R* block time (T^R*), and per-buffer transfer times per
+MB row in each direction (K^{cf hd}, K^{sf dh}, …). All of them are
+*measured* — recorded after every frame (Algorithm 1 lines 5/10) — never
+assumed, which is what lets the framework adapt to non-dedicated systems.
+
+Link characterization follows Algorithm 1 line 6: we estimate the
+*asymmetric bandwidth* of each accelerator's interconnect from all observed
+transfers in a direction, then derive every per-buffer K from the known
+bytes-per-row of that buffer. This fills in K values for buffer types that
+happened not to move during a frame (e.g. Δ MVs under equidistant splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.interconnect import BufferSizes
+
+#: Compute modules characterized per MB row.
+COMPUTE_MODULES = ("me", "int", "sme")
+
+#: Logical buffers whose transfers the framework schedules.
+BUFFERS = ("cf", "cf_full", "rf", "sf", "mv")
+
+
+def buffer_row_bytes(buf: str, sizes: BufferSizes) -> int:
+    """Bytes per MB row of a logical buffer."""
+    table = {
+        "cf": sizes.cf_row,
+        "cf_full": sizes.cf_row_full,
+        "rf": sizes.rf_row,
+        "sf": sizes.sf_row,
+        "mv": sizes.mv_row,
+    }
+    try:
+        return table[buf]
+    except KeyError:
+        raise ValueError(f"unknown buffer {buf!r}; expected one of {BUFFERS}") from None
+
+
+@dataclass
+class _DeviceState:
+    """Mutable characterization of one device."""
+
+    k_compute: dict[str, float] = field(default_factory=dict)  # module -> s/row
+    rstar_frame_s: float | None = None
+    bw: dict[str, float] = field(default_factory=dict)  # "h2d"/"d2h" -> B/s
+
+
+class PerformanceCharacterization:
+    """EWMA-updated speed estimates for every device and link.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the newest observation (1.0 = last frame wins, giving the
+        paper's one-frame recovery after load spikes).
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._devices: dict[str, _DeviceState] = {}
+
+    def _state(self, device: str) -> _DeviceState:
+        return self._devices.setdefault(device, _DeviceState())
+
+    def _blend(self, old: float | None, new: float) -> float:
+        if old is None:
+            return new
+        return self.alpha * new + (1.0 - self.alpha) * old
+
+    # --- observations -------------------------------------------------------
+
+    def observe_compute(
+        self, device: str, module: str, rows: int, seconds: float
+    ) -> None:
+        """Record a compute op: ``rows`` MB rows of ``module`` in ``seconds``."""
+        if module not in COMPUTE_MODULES:
+            raise ValueError(f"unknown module {module!r}")
+        if rows <= 0 or seconds < 0:
+            return
+        st = self._state(device)
+        st.k_compute[module] = self._blend(
+            st.k_compute.get(module), seconds / rows
+        )
+
+    def observe_rstar(self, device: str, seconds: float) -> None:
+        """Record a full R* block execution."""
+        if seconds < 0:
+            return
+        st = self._state(device)
+        st.rstar_frame_s = self._blend(st.rstar_frame_s, seconds)
+
+    def observe_transfer(
+        self, device: str, direction: str, nbytes: float, seconds: float
+    ) -> None:
+        """Record one transfer; updates the directional bandwidth estimate."""
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"direction must be h2d/d2h, got {direction!r}")
+        if nbytes <= 0 or seconds <= 0:
+            return
+        st = self._state(device)
+        st.bw[direction] = self._blend(st.bw.get(direction), nbytes / seconds)
+
+    # --- queries ------------------------------------------------------------
+
+    def k_compute(self, device: str, module: str) -> float | None:
+        """Seconds per MB row for a module on a device (None if unmeasured)."""
+        return self._state(device).k_compute.get(module)
+
+    def rstar_frame_s(self, device: str) -> float | None:
+        """Measured R* block seconds on a device."""
+        return self._state(device).rstar_frame_s
+
+    def bandwidth(self, device: str, direction: str) -> float | None:
+        """Estimated link bandwidth (bytes/s) of a device in a direction."""
+        return self._state(device).bw.get(direction)
+
+    def k_transfer(
+        self, device: str, buf: str, direction: str, sizes: BufferSizes
+    ) -> float | None:
+        """Seconds per MB row to move a buffer in a direction.
+
+        Derived as ``bytes_per_row / measured_bandwidth`` so one observed
+        transfer in a direction characterizes every buffer type.
+        """
+        bw = self.bandwidth(device, direction)
+        if bw is None:
+            return None
+        return buffer_row_bytes(buf, sizes) / bw
+
+    def ready_for_lp(
+        self, device_names: list[str], accel_names: list[str]
+    ) -> bool:
+        """True when every K the LP needs has at least one measurement."""
+        for name in device_names:
+            st = self._devices.get(name)
+            if st is None:
+                return False
+            for module in COMPUTE_MODULES:
+                if module not in st.k_compute:
+                    return False
+        for name in accel_names:
+            st = self._devices.get(name)
+            if st is None or "h2d" not in st.bw or "d2h" not in st.bw:
+                return False
+        return True
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Flat copy of every estimate (for logging/EXPERIMENTS.md)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, st in self._devices.items():
+            d: dict[str, float] = {f"k_{m}": v for m, v in st.k_compute.items()}
+            if st.rstar_frame_s is not None:
+                d["rstar_frame_s"] = st.rstar_frame_s
+            for direction, bw in st.bw.items():
+                d[f"bw_{direction}"] = bw
+            out[name] = d
+        return out

@@ -1,0 +1,144 @@
+"""Calibration: build device models from measured module timings.
+
+The paper's framework never needs an a-priori model — it measures on the
+fly — but *this repository's simulator* does: to study a new machine you
+must translate benchmark timings into :class:`ModuleRates`/:class:`LinkSpec`
+presets. This module does that translation, plus the inverse sanity check
+(predicting single-device fps from a spec), so downstream users can add
+their own hardware in a few lines:
+
+    spec = calibrate_device(
+        "myGPU", kind="gpu",
+        measurements=[ModuleTiming("me", rows=68, seconds=0.012, sa_side=32,
+                                    n_refs=1, mb_cols=120), ...],
+        link=measure_link(h2d_samples, d2h_samples),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.config import CodecConfig
+from repro.hw.device import DeviceSpec
+from repro.hw.interconnect import LinkSpec
+from repro.hw.rates import BASE_SA_SIDE, ModuleRates
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModuleTiming:
+    """One measured module execution.
+
+    ``module`` ∈ {"me", "int", "sme", "rstar"}; ``rows`` MB rows processed
+    in ``seconds``. ME timings additionally need the search-area side and
+    reference count they were measured at.
+    """
+
+    module: str
+    rows: int
+    seconds: float
+    mb_cols: int
+    sa_side: int = BASE_SA_SIDE
+    n_refs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.module not in ("me", "int", "sme", "rstar"):
+            raise ValueError(f"unknown module {self.module!r}")
+        check_positive("rows", self.rows)
+        check_positive("seconds", self.seconds)
+        check_positive("mb_cols", self.mb_cols)
+        check_positive("sa_side", self.sa_side)
+        check_positive("n_refs", self.n_refs)
+
+
+def fit_rates(measurements: list[ModuleTiming]) -> ModuleRates:
+    """Least-squares-free fit: average each module's normalized constant.
+
+    ME samples are normalized by ``(sa_side/32)² · n_refs`` so measurements
+    at different settings combine consistently; INT/SME/R* are normalized
+    to the 1080p 120-MB row width used by :class:`ModuleRates`.
+    """
+    acc: dict[str, list[float]] = {"me": [], "int": [], "sme": [], "rstar": []}
+    for m in measurements:
+        per_row_us = m.seconds * 1e6 / m.rows
+        if m.module == "me":
+            scale = (m.sa_side / BASE_SA_SIDE) ** 2 * m.n_refs
+            acc["me"].append(per_row_us / (m.mb_cols * scale))
+        else:
+            acc[m.module].append(per_row_us * (120 / m.mb_cols))
+    missing = [k for k, v in acc.items() if not v]
+    if missing:
+        raise ValueError(f"no measurements for modules: {missing}")
+    return ModuleRates(
+        me_mb_us=sum(acc["me"]) / len(acc["me"]),
+        int_row_us=sum(acc["int"]) / len(acc["int"]),
+        sme_row_us=sum(acc["sme"]) / len(acc["sme"]),
+        rstar_row_us=sum(acc["rstar"]) / len(acc["rstar"]),
+    )
+
+
+def measure_link(
+    h2d_samples: list[tuple[float, float]],
+    d2h_samples: list[tuple[float, float]],
+    copy_engines: int = 1,
+) -> LinkSpec:
+    """Fit a link from ``(bytes, seconds)`` transfer samples per direction.
+
+    Uses a simple two-point linear fit (latency + 1/bandwidth·bytes) when
+    samples of different sizes are available, otherwise assumes the
+    throughput includes latency.
+    """
+
+    def fit(samples: list[tuple[float, float]]) -> tuple[float, float]:
+        if not samples:
+            raise ValueError("need at least one transfer sample")
+        if len(samples) == 1:
+            nbytes, secs = samples[0]
+            return 0.0, nbytes / secs
+        xs = sorted(samples)
+        (b0, t0), (b1, t1) = xs[0], xs[-1]
+        if b1 == b0:
+            return 0.0, b0 / t0
+        inv_bw = (t1 - t0) / (b1 - b0)
+        latency = max(0.0, t0 - b0 * inv_bw)
+        return latency, 1.0 / inv_bw
+
+    lat_h, bw_h = fit(h2d_samples)
+    lat_d, bw_d = fit(d2h_samples)
+    return LinkSpec(
+        h2d_gbps=bw_h / 1e9,
+        d2h_gbps=bw_d / 1e9,
+        latency_s=(lat_h + lat_d) / 2,
+        copy_engines=copy_engines,
+    )
+
+
+def calibrate_device(
+    name: str,
+    kind: str,
+    measurements: list[ModuleTiming],
+    link: LinkSpec | None = None,
+) -> DeviceSpec:
+    """Build a :class:`DeviceSpec` from measured timings."""
+    return DeviceSpec(name=name, kind=kind, rates=fit_rates(measurements), link=link)
+
+
+def predict_single_device_fps(spec: DeviceSpec, cfg: CodecConfig) -> float:
+    """Analytic fps estimate of the whole inter loop on one device.
+
+    Ignores transfer overlap (adds CF upload serially for accelerators) —
+    a quick sanity check that a calibrated spec reproduces the measured
+    machine before running full simulations.
+    """
+    r = spec.rates
+    t = (
+        r.me_row_s(cfg, cfg.num_ref_frames) * cfg.mb_rows
+        + r.int_row_s(cfg) * cfg.mb_rows
+        + r.sme_row_s(cfg) * cfg.mb_rows
+        + r.rstar_frame_s(cfg)
+    )
+    if spec.is_accelerator:
+        assert spec.link is not None
+        t += spec.link.transfer_s(cfg.width * cfg.height, "h2d")
+    return 1.0 / t

@@ -1,0 +1,102 @@
+"""Device memory footprint model.
+
+The paper notes the SF structure alone is "as large as 16 RFs" — at 1080p
+with many reference frames the working set approaches the VRAM of the
+evaluated GPUs (GTX 580: 1.5 GB). This module estimates each device's
+resident footprint for a codec configuration so platforms can be validated
+before a run:
+
+- reference frames: ``num_ref_frames`` YUV reconstructions;
+- SFs: one quarter-pel plane (16× luma) per reference;
+- current frame, MV buffers, and the MC working set on the R* device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.config import CodecConfig
+from repro.hw.device import DeviceSpec
+from repro.hw.interconnect import BufferSizes
+from repro.hw.topology import Platform
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Estimated resident bytes per buffer class on one accelerator."""
+
+    refs: int
+    sfs: int
+    current: int
+    mvs: int
+    overhead: int
+
+    @property
+    def total(self) -> int:
+        return self.refs + self.sfs + self.current + self.mvs + self.overhead
+
+
+def device_footprint(
+    cfg: CodecConfig, is_rstar: bool = False, overhead_bytes: int = 64 << 20
+) -> MemoryFootprint:
+    """Footprint of one accelerator under a codec configuration.
+
+    ``overhead_bytes`` covers the CUDA context/allocator slack real
+    deployments budget for (default 64 MiB).
+    """
+    sizes = BufferSizes(width=cfg.width, height=cfg.height)
+    n = cfg.mb_rows
+    refs = cfg.num_ref_frames * sizes.rf_frame
+    sfs = cfg.num_ref_frames * sizes.sf_row * n
+    current = sizes.cf_row_full * n
+    mvs = 2 * sizes.mv_row * n  # ME output + SME-refined
+    if is_rstar:
+        current += sizes.rf_frame  # reconstruction under construction
+    return MemoryFootprint(
+        refs=refs, sfs=sfs, current=current, mvs=mvs, overhead=overhead_bytes
+    )
+
+
+def max_reference_frames(
+    spec: DeviceSpec, cfg: CodecConfig, is_rstar: bool = False
+) -> int:
+    """Largest ``num_ref_frames`` whose footprint fits the device memory.
+
+    Returns 16 (the H.264 cap) when the device declares no memory size.
+    """
+    if spec.memory_bytes is None:
+        return 16
+    for refs in range(16, 0, -1):
+        probe = CodecConfig(
+            width=cfg.width,
+            height=cfg.height,
+            search_range=cfg.search_range,
+            num_ref_frames=refs,
+        )
+        if device_footprint(probe, is_rstar).total <= spec.memory_bytes:
+            return refs
+    return 0
+
+
+def validate_platform_memory(
+    platform: Platform, cfg: CodecConfig
+) -> dict[str, MemoryFootprint]:
+    """Check every accelerator's footprint against its declared memory.
+
+    Returns the per-device footprints; raises ``ValueError`` naming the
+    first device whose working set cannot fit.
+    """
+    out: dict[str, MemoryFootprint] = {}
+    for i, dev in enumerate(platform.devices):
+        if not dev.is_accelerator:
+            continue
+        fp = device_footprint(cfg, is_rstar=(i == 0))
+        out[dev.name] = fp
+        cap = dev.spec.memory_bytes
+        if cap is not None and fp.total > cap:
+            raise ValueError(
+                f"device {dev.name}: working set {fp.total / 2**30:.2f} GiB "
+                f"exceeds its {cap / 2**30:.2f} GiB memory "
+                f"(max_reference_frames={max_reference_frames(dev.spec, cfg)})"
+            )
+    return out

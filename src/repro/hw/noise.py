@@ -1,0 +1,89 @@
+"""Load-fluctuation injection.
+
+The paper runs on non-dedicated desktops: §IV reports sudden performance
+changes ("e.g. other processes started running") at specific frames, which
+the framework detects through its online Performance Characterization and
+absorbs within one frame. This module reproduces both phenomena:
+
+- :class:`PerturbationSchedule` — deterministic slowdown events at given
+  frames (Fig. 7's spikes at frames 76/81 for 1 RF and 31/71/92 for 2 RFs);
+- :class:`GaussianJitter` — mild multiplicative measurement noise so that
+  the characterization never sees perfectly clean numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PerturbationEvent:
+    """One transient slowdown: ``device`` runs ``factor``× slower during
+    frames ``[frame, frame + duration)``."""
+
+    frame: int
+    device: str
+    factor: float
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if self.duration < 1:
+            raise ValueError(f"duration must be >= 1, got {self.duration}")
+
+
+class PerturbationSchedule:
+    """Deterministic per-(frame, device) slowdown factors."""
+
+    def __init__(self, events: list[PerturbationEvent] | None = None) -> None:
+        self.events = list(events or [])
+
+    def factor(self, frame: int, device: str) -> float:
+        """Combined slowdown multiplier for a device at a frame (≥ 1 == slower)."""
+        f = 1.0
+        for ev in self.events:
+            if ev.device == device and ev.frame <= frame < ev.frame + ev.duration:
+                f *= ev.factor
+        return f
+
+    @classmethod
+    def paper_fig7b(cls, device: str, num_refs: int) -> "PerturbationSchedule":
+        """The Fig. 7(b) events: frames 76/81 for 1 RF, 31/71/92 for 2 RFs."""
+        frames = {1: (76, 81), 2: (31, 71, 92)}.get(num_refs, ())
+        return cls(
+            [PerturbationEvent(frame=f, device=device, factor=2.0) for f in frames]
+        )
+
+
+@dataclass
+class GaussianJitter:
+    """Multiplicative jitter ``max(0.05, 1 + N(0, sigma))`` per sample."""
+
+    sigma: float = 0.0
+    seed: int = 1234
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample(self) -> float:
+        if self.sigma == 0.0:
+            return 1.0
+        return max(0.05, 1.0 + float(self._rng.normal(0.0, self.sigma)))
+
+
+@dataclass
+class NoiseModel:
+    """Combined deterministic schedule + random jitter applied to durations."""
+
+    schedule: PerturbationSchedule = field(default_factory=PerturbationSchedule)
+    jitter: GaussianJitter = field(default_factory=GaussianJitter)
+
+    def scale(self, frame: int, device: str) -> float:
+        """Duration multiplier for one op of ``device`` at ``frame``."""
+        return self.schedule.factor(frame, device) * self.jitter.sample()

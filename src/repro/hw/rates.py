@@ -1,0 +1,80 @@
+"""Per-device module rate models — the simulator's ground truth.
+
+Each device is characterized by how long it takes to process one MB (or MB
+row) of each inter-loop module. The framework never reads these numbers:
+it only observes op durations and *learns* effective speeds through its
+Performance Characterization, exactly as on real hardware.
+
+Scaling laws (per MB row of a frame with ``mb_cols`` MBs):
+
+- **ME** ∝ ``mb_cols × (SA_side / 32)² × active_refs`` — FSBM evaluates
+  ``SA²`` candidates per reference; quadrupling the SA side quadruples the
+  load (the paper's Fig. 6(a) "quadruplication" remark corresponds to the
+  doubling of the side per step).
+- **INT** ∝ ``mb_cols`` — exactly one new RF is interpolated per frame,
+  regardless of SA or reference count.
+- **SME** ∝ ``mb_cols`` — the refinement evaluates a constant candidate
+  ring around each of the 41 sub-partitions, on the already-chosen
+  reference.
+- **R\\*** ∝ ``mb_cols`` per row (MC+TQ+TQ⁻¹+DBL over the whole frame on
+  one device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.config import CodecConfig
+from repro.util.validation import check_positive
+
+#: Reference search-area side for the ``me_mb_us`` calibration point.
+BASE_SA_SIDE = 32
+
+
+@dataclass(frozen=True)
+class ModuleRates:
+    """Device speed constants (µs granularity at the SA=32, 1-ref point).
+
+    Attributes
+    ----------
+    me_mb_us:
+        ME microseconds per MB per reference at a 32×32 search area.
+    int_row_us:
+        INT microseconds per MB row (one RF interpolation).
+    sme_row_us:
+        SME microseconds per MB row.
+    rstar_row_us:
+        R* (MC+TQ+TQ⁻¹+DBL) microseconds per MB row.
+    """
+
+    me_mb_us: float
+    int_row_us: float
+    sme_row_us: float
+    rstar_row_us: float
+
+    def __post_init__(self) -> None:
+        for name in ("me_mb_us", "int_row_us", "sme_row_us", "rstar_row_us"):
+            check_positive(name, getattr(self, name))
+
+    def me_row_s(self, cfg: CodecConfig, active_refs: int) -> float:
+        """Seconds to motion-estimate one MB row."""
+        if active_refs < 1:
+            raise ValueError(f"active_refs must be >= 1, got {active_refs}")
+        scale = (cfg.sa_side / BASE_SA_SIDE) ** 2
+        return self.me_mb_us * 1e-6 * cfg.mb_cols * scale * active_refs
+
+    def int_row_s(self, cfg: CodecConfig) -> float:
+        """Seconds to interpolate one MB row of the new RF."""
+        return self.int_row_us * 1e-6 * (cfg.mb_cols / (1920 / 16))
+
+    def sme_row_s(self, cfg: CodecConfig) -> float:
+        """Seconds to sub-pel refine one MB row."""
+        return self.sme_row_us * 1e-6 * (cfg.mb_cols / (1920 / 16))
+
+    def rstar_row_s(self, cfg: CodecConfig) -> float:
+        """Seconds of R* processing per MB row."""
+        return self.rstar_row_us * 1e-6 * (cfg.mb_cols / (1920 / 16))
+
+    def rstar_frame_s(self, cfg: CodecConfig) -> float:
+        """Seconds to run the complete R* block for one frame."""
+        return self.rstar_row_s(cfg) * cfg.mb_rows

@@ -1,0 +1,84 @@
+"""Timeline utilities: per-frame Gantt-style records and summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.des import OpRecord
+
+
+@dataclass
+class FrameTimeline:
+    """Schedule of one encoded frame."""
+
+    frame_index: int
+    records: list[OpRecord]
+    tau1: float = 0.0
+    tau2: float = 0.0
+    tau_tot: float = 0.0
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupied simulated seconds of a resource."""
+        return sum(r.duration for r in self.records if r.resource == resource)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of a resource over the frame makespan."""
+        if self.tau_tot <= 0:
+            return 0.0
+        return self.busy_time(resource) / self.tau_tot
+
+    def by_category(self) -> dict[str, float]:
+        """Total simulated seconds per op category (compute/h2d/d2h)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0.0) + r.duration
+        return out
+
+    def gantt_text(self, width: int = 72) -> str:
+        """ASCII Gantt chart of the frame (one line per resource)."""
+        if not self.records or self.tau_tot <= 0:
+            return "(empty timeline)"
+        resources = sorted({r.resource for r in self.records})
+        lines = [f"frame {self.frame_index}  tau_tot={self.tau_tot * 1e3:.3f} ms"]
+        scale = width / self.tau_tot
+        for res in resources:
+            row = [" "] * width
+            for rec in self.records:
+                if rec.resource != res:
+                    continue
+                a = min(width - 1, int(rec.start * scale))
+                b = min(width, max(a + 1, int(rec.end * scale)))
+                ch = {"compute": "#", "h2d": ">", "d2h": "<"}.get(rec.category, "?")
+                for i in range(a, b):
+                    row[i] = ch
+            lines.append(f"{res:>18s} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+@dataclass
+class EncodingTrace:
+    """Accumulated per-frame timing of one encoding run."""
+
+    platform: str
+    frame_times_s: list[float] = field(default_factory=list)
+    timelines: list[FrameTimeline] = field(default_factory=list)
+
+    def add(self, timeline: FrameTimeline) -> None:
+        self.timelines.append(timeline)
+        self.frame_times_s.append(timeline.tau_tot)
+
+    @property
+    def inter_frame_times_s(self) -> list[float]:
+        """Times of inter frames only (frame 0 is intra in IPPP)."""
+        return self.frame_times_s
+
+    def mean_fps(self, skip: int = 0) -> float:
+        """Mean frames/second over frames ``skip:`` (skip warm-up frames)."""
+        times = self.frame_times_s[skip:]
+        if not times:
+            return 0.0
+        return len(times) / sum(times)
+
+    def steady_state_fps(self, warmup: int = 2) -> float:
+        """fps after the framework has adapted (paper's steady regime)."""
+        return self.mean_fps(skip=min(warmup, max(0, len(self.frame_times_s) - 1)))

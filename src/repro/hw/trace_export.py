@@ -1,0 +1,76 @@
+"""Timeline export in Chrome trace-event format.
+
+Dump frame timelines to the JSON consumed by ``chrome://tracing`` /
+Perfetto, one "thread" per DES resource — the practical way to eyeball a
+multi-frame FEVES schedule outside the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hw.timeline import FrameTimeline
+
+#: Category colors follow trace-viewer conventions via the ``cat`` field.
+_CATEGORY = {"compute": "kernel", "h2d": "transfer_in", "d2h": "transfer_out"}
+
+
+def timeline_to_events(
+    timeline: FrameTimeline, time_offset_s: float = 0.0, pid: int = 1
+) -> list[dict]:
+    """Convert one frame's records to trace-event dicts (``X`` events)."""
+    events: list[dict] = []
+    resources = sorted({r.resource for r in timeline.records})
+    tids = {res: i + 1 for i, res in enumerate(resources)}
+    for res, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": res},
+            }
+        )
+    for rec in timeline.records:
+        if rec.duration <= 0:
+            continue
+        events.append(
+            {
+                "name": rec.label,
+                "cat": _CATEGORY.get(rec.category, rec.category),
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[rec.resource],
+                "ts": (time_offset_s + rec.start) * 1e6,   # µs
+                "dur": rec.duration * 1e6,
+                "args": {"frame": timeline.frame_index},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    timelines: list[FrameTimeline], path: str | Path
+) -> int:
+    """Write consecutive frame timelines as one chrome trace JSON file.
+
+    Frames are laid out back-to-back on a common clock. Returns the number
+    of duration events written.
+    """
+    events: list[dict] = []
+    offset = 0.0
+    seen_meta: set[tuple[int, int]] = set()
+    for tl in timelines:
+        for ev in timeline_to_events(tl, time_offset_s=offset):
+            if ev["ph"] == "M":
+                key = (ev["pid"], ev["tid"])
+                if key in seen_meta:
+                    continue
+                seen_meta.add(key)
+            events.append(ev)
+        offset += max(tl.tau_tot, 0.0)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload))
+    return sum(1 for e in events if e["ph"] == "X")

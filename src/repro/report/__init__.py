@@ -1,0 +1,6 @@
+"""Reporting helpers: text tables and ASCII charts for the benchmarks."""
+
+from repro.report.figures import ascii_bars, ascii_series
+from repro.report.tables import format_table
+
+__all__ = ["ascii_bars", "ascii_series", "format_table"]

@@ -1,0 +1,84 @@
+"""ASCII charts: enough to eyeball the paper's figure shapes in a terminal."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_series(
+    series: dict[str, Sequence[float]],
+    height: int = 14,
+    width: int = 78,
+    y_label: str = "",
+    hline: float | None = None,
+    hline_label: str = "",
+) -> str:
+    """Plot one or more numeric series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        name → y-values (all series share the x axis by index).
+    hline:
+        Optional horizontal reference line (e.g. the paper's 40 ms / 25 fps
+        real-time boundary).
+    """
+    if not series:
+        return "(no data)"
+    n = max(len(v) for v in series.values())
+    if n == 0:
+        return "(no data)"
+    all_vals = [v for vs in series.values() for v in vs]
+    if hline is not None:
+        all_vals.append(hline)
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "o*x+#@%&"
+
+    def ypos(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round((1 - frac) * (height - 1)))))
+
+    if hline is not None:
+        r = ypos(hline)
+        for cidx in range(width):
+            grid[r][cidx] = "-"
+
+    for si, (name, vals) in enumerate(series.items()):
+        mk = marks[si % len(marks)]
+        for i, v in enumerate(vals):
+            c = int(i * (width - 1) / max(1, n - 1))
+            grid[ypos(v)][c] = mk
+
+    lines = [f"{hi:10.2f} |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 10 + " |" + "".join(grid[r]))
+    lines.append(f"{lo:10.2f} |" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    if hline is not None and hline_label:
+        legend += f"   ---={hline_label}"
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: dict[str, float], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        return "(no data)"
+    vmax = max(values.values())
+    if vmax <= 0:
+        vmax = 1.0
+    klen = max(len(k) for k in values)
+    lines = []
+    for k, v in values.items():
+        bar = "#" * max(1, int(round(v / vmax * width))) if v > 0 else ""
+        lines.append(f"{k.rjust(klen)} | {bar} {v:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Shared utilities: validation, timing, and lightweight logging."""
+
+from repro.util.timing import WallTimer
+from repro.util.validation import (
+    check_multiple_of,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+__all__ = [
+    "WallTimer",
+    "check_multiple_of",
+    "check_positive",
+    "check_power_of_two",
+    "check_range",
+]

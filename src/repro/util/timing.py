@@ -1,0 +1,49 @@
+"""Wall-clock timing helpers.
+
+Simulated time lives in :mod:`repro.hw.des`; this module measures *real*
+wall time, used only for the paper's scheduling-overhead claim (<2 ms per
+frame for the load-balancing machinery itself).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WallTimer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Example
+    -------
+    >>> t = WallTimer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.total_s >= 0.0
+    True
+    >>> t.count
+    1
+    """
+
+    total_s: float = 0.0
+    count: int = 0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "WallTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.total_s += time.perf_counter() - self._t0
+        self.count += 1
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per timed section (0.0 before any section ran)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and count."""
+        self.total_s = 0.0
+        self.count = 0

@@ -1,0 +1,42 @@
+"""Argument-validation helpers used across the package.
+
+All helpers raise :class:`ValueError` with a message naming the offending
+parameter, so configuration mistakes surface at construction time rather
+than deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_multiple_of(name: str, value: int, base: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive multiple of ``base``."""
+    if value <= 0 or value % base != 0:
+        raise ValueError(f"{name} must be a positive multiple of {base}, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: type) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )

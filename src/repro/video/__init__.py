@@ -1,0 +1,18 @@
+"""Synthetic video sources and raw YUV 4:2:0 I/O.
+
+The paper evaluates on the 1080p "Toys and Calendar" and "Rolling Tomatoes"
+sequences; since FSBM makes encoding time content-independent (paper §IV),
+any sequence with moving structure exercises the same code paths. The
+generators here synthesize textured moving objects over a panning background
+plus sensor noise, at any MB-aligned resolution.
+"""
+
+from repro.video.generator import SyntheticSequence, moving_objects_sequence
+from repro.video.yuv import read_yuv420, write_yuv420
+
+__all__ = [
+    "SyntheticSequence",
+    "moving_objects_sequence",
+    "read_yuv420",
+    "write_yuv420",
+]

@@ -1,0 +1,57 @@
+"""Raw planar YUV 4:2:0 file I/O (the format used by JM and VCEG test sets)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.codec.frames import YuvFrame
+
+
+def frame_bytes(width: int, height: int) -> int:
+    """Bytes per 4:2:0 frame."""
+    return width * height * 3 // 2
+
+
+def write_yuv420(path: str | Path, frames: list[YuvFrame]) -> None:
+    """Write frames as concatenated planar YUV 4:2:0."""
+    with open(path, "wb") as fh:
+        for f in frames:
+            fh.write(f.y.tobytes())
+            fh.write(f.u.tobytes())
+            fh.write(f.v.tobytes())
+
+
+def read_yuv420(
+    path: str | Path, width: int, height: int, count: int | None = None
+) -> list[YuvFrame]:
+    """Read planar YUV 4:2:0 frames from a raw file.
+
+    Parameters
+    ----------
+    count:
+        Number of frames to read; ``None`` reads all complete frames.
+    """
+    fsize = os.path.getsize(path)
+    per = frame_bytes(width, height)
+    avail = fsize // per
+    n = avail if count is None else min(count, avail)
+    ysz = width * height
+    csz = ysz // 4
+    frames: list[YuvFrame] = []
+    with open(path, "rb") as fh:
+        for _ in range(n):
+            buf = fh.read(per)
+            if len(buf) < per:
+                break
+            y = np.frombuffer(buf, dtype=np.uint8, count=ysz).reshape(height, width)
+            u = np.frombuffer(buf, dtype=np.uint8, count=csz, offset=ysz).reshape(
+                height // 2, width // 2
+            )
+            v = np.frombuffer(
+                buf, dtype=np.uint8, count=csz, offset=ysz + csz
+            ).reshape(height // 2, width // 2)
+            frames.append(YuvFrame(y.copy(), u.copy(), v.copy()))
+    return frames

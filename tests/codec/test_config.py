@@ -1,0 +1,82 @@
+"""CodecConfig validation and derived quantities."""
+
+import pytest
+
+from repro.codec.config import MB_SIZE, PARTITION_MODES, CodecConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_settings(self):
+        cfg = CodecConfig()
+        assert cfg.width == 1920
+        assert cfg.qp_i == 27 and cfg.qp_p == 28
+        assert cfg.enabled_partitions == PARTITION_MODES
+
+    def test_width_must_be_mb_aligned(self):
+        with pytest.raises(ValueError, match="width"):
+            CodecConfig(width=100, height=96)
+
+    def test_height_must_be_mb_aligned(self):
+        with pytest.raises(ValueError, match="height"):
+            CodecConfig(width=128, height=100)
+
+    def test_search_range_bounds(self):
+        with pytest.raises(ValueError, match="search_range"):
+            CodecConfig(search_range=0)
+        with pytest.raises(ValueError, match="search_range"):
+            CodecConfig(search_range=300)
+
+    def test_num_ref_frames_bounds(self):
+        with pytest.raises(ValueError, match="num_ref_frames"):
+            CodecConfig(num_ref_frames=0)
+        with pytest.raises(ValueError, match="num_ref_frames"):
+            CodecConfig(num_ref_frames=17)
+
+    def test_qp_bounds(self):
+        with pytest.raises(ValueError, match="qp_i"):
+            CodecConfig(qp_i=52)
+        with pytest.raises(ValueError, match="qp_p"):
+            CodecConfig(qp_p=-1)
+
+    def test_16x16_partition_mandatory(self):
+        with pytest.raises(ValueError, match="16x16"):
+            CodecConfig(enabled_partitions=((8, 8),))
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            CodecConfig(enabled_partitions=((16, 16), (5, 5)))
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            CodecConfig(enabled_partitions=())
+
+
+class TestDerived:
+    def test_sa_side_is_twice_range(self):
+        assert CodecConfig(search_range=16).sa_side == 32
+        assert CodecConfig(search_range=128).sa_side == 256
+
+    def test_mb_grid(self):
+        cfg = CodecConfig(width=1920, height=1088)
+        assert cfg.mb_cols == 120
+        assert cfg.mb_rows == 68
+        assert cfg.mb_rows * MB_SIZE == 1088
+
+    def test_qp_for_slice_types(self):
+        cfg = CodecConfig(qp_i=27, qp_p=28)
+        assert cfg.qp_for(True) == 27
+        assert cfg.qp_for(False) == 28
+
+    def test_lambda_standard_formula(self):
+        cfg = CodecConfig()
+        assert cfg.lambda_for(12) == pytest.approx(0.85)
+        assert cfg.lambda_for(18) == pytest.approx(0.85 * 4)
+
+    def test_lambda_override(self):
+        cfg = CodecConfig(lambda_mode=3.5)
+        assert cfg.lambda_for(40) == 3.5
+
+    def test_frozen(self):
+        cfg = CodecConfig()
+        with pytest.raises(AttributeError):
+            cfg.width = 640  # type: ignore[misc]

@@ -1,0 +1,147 @@
+"""DBL: boundary strengths and edge filters."""
+
+import numpy as np
+import pytest
+
+from repro.codec.deblock import (
+    ALPHA_TABLE,
+    BETA_TABLE,
+    TC0_TABLE,
+    BlockInfo,
+    boundary_strength,
+    deblock_plane,
+)
+
+
+def make_info(gh: int, gw: int) -> BlockInfo:
+    return BlockInfo(
+        mv=np.zeros((gh, gw, 2), dtype=np.int32),
+        ref=np.zeros((gh, gw), dtype=np.int32),
+        cnz=np.zeros((gh, gw), dtype=bool),
+        intra=np.zeros((gh, gw), dtype=bool),
+    )
+
+
+class TestTables:
+    def test_table_lengths(self):
+        assert len(ALPHA_TABLE) == 52
+        assert len(BETA_TABLE) == 52
+        assert TC0_TABLE.shape == (3, 52)
+
+    def test_monotone_nondecreasing(self):
+        assert (np.diff(ALPHA_TABLE) >= 0).all()
+        assert (np.diff(BETA_TABLE) >= 0).all()
+        assert (np.diff(TC0_TABLE, axis=1) >= 0).all()
+
+    def test_zero_below_16(self):
+        assert (ALPHA_TABLE[:16] == 0).all()
+        assert (BETA_TABLE[:16] == 0).all()
+
+
+class TestBoundaryStrength:
+    def test_all_zero_when_static(self):
+        info = make_info(8, 8)
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 0).all()
+
+    def test_intra_mb_edge_is_4(self):
+        info = make_info(8, 8)
+        info.intra[:, 4:] = True
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 4).all()
+
+    def test_intra_inner_edge_is_3(self):
+        info = make_info(8, 8)
+        info.intra[:, :] = True
+        bs = boundary_strength(info, axis=1, edge_idx=1, mb_edge=False)
+        assert (bs == 3).all()
+
+    def test_coded_coeffs_give_2(self):
+        info = make_info(8, 8)
+        info.cnz[:, 4] = True
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 2).all()
+
+    def test_mv_difference_gives_1(self):
+        info = make_info(8, 8)
+        info.mv[:, 4:, 1] = 4  # one full pel (4 quarter units)
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 1).all()
+
+    def test_small_mv_difference_gives_0(self):
+        info = make_info(8, 8)
+        info.mv[:, 4:, 1] = 3  # < 4 quarter units
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 0).all()
+
+    def test_ref_difference_gives_1(self):
+        info = make_info(8, 8)
+        info.ref[:, 4:] = 1
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 1).all()
+
+    def test_horizontal_axis(self):
+        info = make_info(8, 8)
+        info.intra[4:, :] = True
+        bs = boundary_strength(info, axis=0, edge_idx=4, mb_edge=True)
+        assert bs.shape == (8,)
+        assert (bs == 4).all()
+
+    def test_priority_intra_over_cnz(self):
+        info = make_info(8, 8)
+        info.cnz[:, :] = True
+        info.intra[:, :] = True
+        bs = boundary_strength(info, axis=1, edge_idx=4, mb_edge=True)
+        assert (bs == 4).all()
+
+
+class TestDeblockPlane:
+    def test_flat_plane_unchanged(self):
+        """Filtering a uniform plane is a no-op regardless of bS."""
+        plane = np.full((32, 32), 90, dtype=np.uint8)
+        info = make_info(8, 8)
+        info.intra[:, :] = True  # maximal bS everywhere
+        out = deblock_plane(plane, info, qp=40)
+        np.testing.assert_array_equal(out, plane)
+
+    def test_blocking_artifact_smoothed(self):
+        """A step at an MB edge with bS=4 must shrink."""
+        plane = np.full((32, 32), 80, dtype=np.uint8)
+        plane[:, 16:] = 95  # step of 15 at MB boundary
+        info = make_info(8, 8)
+        info.intra[:, :] = True
+        out = deblock_plane(plane, info, qp=36)
+        step_before = abs(int(plane[0, 16]) - int(plane[0, 15]))
+        step_after = abs(int(out[0, 16]) - int(out[0, 15]))
+        assert step_after < step_before
+
+    def test_real_edge_preserved_at_low_qp(self):
+        """A huge step (real content edge) exceeds alpha and is untouched."""
+        plane = np.full((32, 32), 30, dtype=np.uint8)
+        plane[:, 16:] = 220
+        info = make_info(8, 8)
+        info.intra[:, :] = True
+        out = deblock_plane(plane, info, qp=20)
+        np.testing.assert_array_equal(out, plane)
+
+    def test_bs0_everywhere_is_identity(self, rng):
+        plane = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        info = make_info(8, 8)
+        out = deblock_plane(plane, info, qp=51)
+        np.testing.assert_array_equal(out, plane)
+
+    def test_chroma_plane_shape_and_smoothing(self):
+        plane = np.full((16, 16), 80, dtype=np.uint8)  # chroma of a 32x32 frame
+        plane[:, 8:] = 92
+        info = make_info(8, 8)
+        info.intra[:, :] = True
+        out = deblock_plane(plane, info, qp=36, chroma=True)
+        assert out.shape == plane.shape
+        assert abs(int(out[0, 8]) - int(out[0, 7])) < 12
+
+    def test_output_dtype_and_range(self, rng):
+        plane = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        info = make_info(8, 8)
+        info.cnz[:, :] = True
+        out = deblock_plane(plane, info, qp=45)
+        assert out.dtype == np.uint8

@@ -1,0 +1,118 @@
+"""INT: 6-tap/bilinear SF generation — conformance and band exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.interpolation import (
+    PAD,
+    clamp_qpos,
+    interpolate_plane,
+    interpolate_rows,
+    subpel_block,
+)
+
+
+class TestIntegerPositions:
+    def test_integer_samples_preserved(self, rng):
+        y = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        assert sf.shape == (128, 128)
+        np.testing.assert_array_equal(sf[0::4, 0::4], y)
+
+    def test_constant_plane_constant_sf(self):
+        y = np.full((32, 32), 77, dtype=np.uint8)
+        sf = interpolate_plane(y)
+        assert (sf == 77).all()
+
+    def test_sf_is_16x_the_area(self, rng):
+        y = rng.integers(0, 256, (16, 48), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        assert sf.size == 16 * y.size
+
+
+class TestSixTapFilter:
+    def test_halfpel_horizontal_hand_value(self):
+        """b = (E - 5F + 20G + 20H - 5I + J + 16) >> 5 on a known ramp."""
+        y = np.zeros((16, 16), dtype=np.uint8)
+        y[:, :] = np.arange(16, dtype=np.uint8)[None, :] * 10
+        sf = interpolate_plane(y)
+        # At interior column x=7: taps 50,60,70,80,90,100.
+        e, f, g, h, i, j = 50, 60, 70, 80, 90, 100
+        want = (e - 5 * f + 20 * g + 20 * h - 5 * i + j + 16) >> 5
+        assert sf[0, 4 * 7 + 2] == want
+
+    def test_halfpel_vertical_matches_transpose(self, rng):
+        y = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        sf_t = interpolate_plane(np.ascontiguousarray(y.T))
+        # h of y == b of y.T (vertical filter == horizontal on transpose).
+        np.testing.assert_array_equal(sf[2::4, 0::4], sf_t[0::4, 2::4].T)
+
+    def test_quarter_positions_are_averages(self, rng):
+        y = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        g = sf[0::4, 0::4].astype(np.uint16)
+        b = sf[0::4, 2::4].astype(np.uint16)
+        np.testing.assert_array_equal(sf[0::4, 1::4], (g + b + 1) >> 1)
+        h = sf[2::4, 0::4].astype(np.uint16)
+        np.testing.assert_array_equal(sf[1::4, 0::4], (g + h + 1) >> 1)
+        j = sf[2::4, 2::4].astype(np.uint16)
+        np.testing.assert_array_equal(sf[2::4, 1::4], (h + j + 1) >> 1)
+
+
+class TestBandExactness:
+    @given(
+        row0=st.integers(min_value=0, max_value=3),
+        nrows=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_band_equals_plane_rows(self, row0, nrows):
+        """Distributed INT must be bit-exact with full-plane interpolation."""
+        if row0 + nrows > 4:
+            nrows = 4 - row0
+        rng = np.random.default_rng(7)
+        y = rng.integers(0, 256, (64, 48), dtype=np.uint8)
+        full = interpolate_plane(y)
+        band = interpolate_rows(y, row0, nrows)
+        np.testing.assert_array_equal(
+            band, full[64 * row0 : 64 * (row0 + nrows), :]
+        )
+
+    def test_stitched_bands_equal_plane(self, rng):
+        y = rng.integers(0, 256, (96, 32), dtype=np.uint8)
+        full = interpolate_plane(y)
+        stitched = np.concatenate(
+            [interpolate_rows(y, 0, 2), interpolate_rows(y, 2, 1),
+             interpolate_rows(y, 3, 3)],
+            axis=0,
+        )
+        np.testing.assert_array_equal(stitched, full)
+
+    def test_band_out_of_range(self, rng):
+        y = rng.integers(0, 256, (64, 32), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            interpolate_rows(y, 3, 2)
+
+    def test_pad_constant_documented(self):
+        assert PAD == 4  # 6-tap reach + the +1 quarter-pel neighbour
+
+
+class TestSampling:
+    def test_subpel_block_at_integer_position(self, rng):
+        y = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        blk = subpel_block(sf, 4 * 8, 4 * 4, 8, 8)
+        np.testing.assert_array_equal(blk, y[8:16, 4:12])
+
+    def test_subpel_block_fractional(self, rng):
+        y = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        sf = interpolate_plane(y)
+        blk = subpel_block(sf, 4 * 8 + 2, 4 * 4, 4, 4)
+        np.testing.assert_array_equal(blk, sf[34 : 34 + 16 : 4, 16 : 16 + 16 : 4])
+
+    def test_clamp_qpos(self):
+        assert clamp_qpos(-3, 5, 8, 8, 32, 32) == (0, 5)
+        assert clamp_qpos(4 * 30, 4 * 30, 8, 8, 32, 32) == (4 * 24, 4 * 24)
+        assert clamp_qpos(10, 10, 8, 8, 32, 32) == (10, 10)

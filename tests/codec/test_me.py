@@ -1,0 +1,173 @@
+"""FSBM Motion Estimation: exactness, determinism, multi-reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.config import CodecConfig
+from repro.codec.me import MotionField, motion_estimate_rows
+from repro.codec.frames import pad_plane
+
+
+def shifted(ref: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Current frame whose content at (y,x) equals ref at (y+dy, x+dx)."""
+    h, w = ref.shape
+    pad = max(abs(dy), abs(dx))
+    p = np.pad(ref, pad, mode="wrap")
+    return p[pad + dy : pad + dy + h, pad + dx : pad + dx + w].copy()
+
+
+@pytest.fixture
+def cfg64():
+    return CodecConfig(width=64, height=64, search_range=6, num_ref_frames=1)
+
+
+class TestFullSearchExactness:
+    @given(
+        dy=st.integers(min_value=-6, max_value=6),
+        dx=st.integers(min_value=-6, max_value=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_finds_planted_translation(self, dy, dx):
+        """Full search must recover any translation within the SA exactly."""
+        rng = np.random.default_rng(1)
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = shifted(ref, dy, dx)
+        cfg = CodecConfig(width=64, height=64, search_range=6)
+        f = motion_estimate_rows(cur, [ref], 0, 4, cfg)
+        # Interior MBs (away from wrap artifacts) must find (dy, dx) with SAD 0.
+        inner = f.mvs[(16, 16)][1:-1, 1:-1, 0, :]
+        sads = f.sads[(16, 16)][1:-1, 1:-1, 0]
+        assert (sads == 0).all()
+        assert (inner[..., 0] == dy).all()
+        assert (inner[..., 1] == dx).all()
+
+    def test_zero_motion_on_identical_frames(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        f = motion_estimate_rows(ref, [ref], 0, 4, cfg64)
+        for shape in f.mode_shapes:
+            assert (f.sads[shape] == 0).all()
+            assert (f.mvs[shape] == 0).all()
+
+    def test_subpartitions_track_independent_motion(self, rng):
+        """Two halves of an MB moving differently get different (8,16) MVs."""
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = ref.copy()
+        # Shift only the top half of MB (1,1) by (0, 2).
+        cur[16:24, 16:32] = ref[16:24, 18:34]
+        cfg = CodecConfig(width=64, height=64, search_range=4)
+        f = motion_estimate_rows(cur, [ref], 1, 1, cfg)
+        top_mv = f.mvs[(8, 16)][0, 1, 0]  # (h=8, w=16): top / bottom halves
+        bot_mv = f.mvs[(8, 16)][0, 1, 1]
+        assert tuple(top_mv) == (0, 2)
+        assert tuple(bot_mv) == (0, 0)
+
+    def test_sad_never_worse_than_zero_mv(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        f = motion_estimate_rows(cur, [ref], 0, 4, cfg64)
+        from repro.codec.sad import sad
+
+        for r in range(4):
+            for c in range(4):
+                zero_sad = sad(
+                    cur[16 * r : 16 * r + 16, 16 * c : 16 * c + 16],
+                    ref[16 * r : 16 * r + 16, 16 * c : 16 * c + 16],
+                )
+                assert f.sads[(16, 16)][r, c, 0] <= zero_sad
+
+
+class TestMultiReference:
+    def test_best_reference_selected(self, rng):
+        """A frame identical to ref1 (not ref0) must pick ref index 1."""
+        ref0 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        ref1 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cfg = CodecConfig(width=64, height=64, search_range=4, num_ref_frames=2)
+        f = motion_estimate_rows(ref1, [ref0, ref1], 0, 4, cfg)
+        assert (f.refs[(16, 16)] == 1).all()
+        assert (f.sads[(16, 16)] == 0).all()
+
+    def test_ties_prefer_earlier_reference(self, rng):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cfg = CodecConfig(width=64, height=64, search_range=4, num_ref_frames=2)
+        f = motion_estimate_rows(ref, [ref, ref], 0, 4, cfg)
+        assert (f.refs[(16, 16)] == 0).all()
+
+    def test_ref_limit_respected(self, rng):
+        ref0 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        ref1 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cfg = CodecConfig(width=64, height=64, search_range=4, num_ref_frames=1)
+        # ref1 matches cur exactly but is beyond the configured limit.
+        f = motion_estimate_rows(ref1, [ref0, ref1], 0, 4, cfg)
+        assert (f.refs[(16, 16)] == 0).all()
+
+
+class TestBandsAndMerge:
+    def test_band_matches_full_frame(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        full = motion_estimate_rows(cur, [ref], 0, 4, cfg64)
+        band = motion_estimate_rows(cur, [ref], 1, 2, cfg64)
+        for shape in full.mode_shapes:
+            np.testing.assert_array_equal(band.mvs[shape], full.mvs[shape][1:3])
+            np.testing.assert_array_equal(band.sads[shape], full.sads[shape][1:3])
+
+    def test_merge_reassembles_full_field(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        full = motion_estimate_rows(cur, [ref], 0, 4, cfg64)
+        parts = [
+            motion_estimate_rows(cur, [ref], 0, 1, cfg64),
+            motion_estimate_rows(cur, [ref], 1, 2, cfg64),
+            motion_estimate_rows(cur, [ref], 3, 1, cfg64),
+        ]
+        merged = MotionField.merge(parts)
+        for shape in full.mode_shapes:
+            np.testing.assert_array_equal(merged.mvs[shape], full.mvs[shape])
+            np.testing.assert_array_equal(merged.refs[shape], full.refs[shape])
+
+    def test_merge_rejects_gap(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        a = motion_estimate_rows(cur, [ref], 0, 1, cfg64)
+        c = motion_estimate_rows(cur, [ref], 2, 1, cfg64)
+        with pytest.raises(ValueError, match="contiguous"):
+            MotionField.merge([a, c])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MotionField.merge([])
+
+    def test_zero_rows_band(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        f = motion_estimate_rows(cur, [ref], 2, 0, cfg64)
+        assert f.nrows == 0
+        assert f.mvs[(16, 16)].shape[0] == 0
+
+
+class TestValidation:
+    def test_band_out_of_range(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            motion_estimate_rows(ref, [ref], 3, 2, cfg64)
+
+    def test_requires_reference(self, rng, cfg64):
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            motion_estimate_rows(cur, [], 0, 1, cfg64)
+
+    def test_prepadded_path_matches(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        a = motion_estimate_rows(cur, [ref], 0, 4, cfg64)
+        padded = pad_plane(ref, cfg64.search_range)
+        b = motion_estimate_rows(cur, [padded], 0, 4, cfg64, refs_prepadded=True)
+        for shape in a.mode_shapes:
+            np.testing.assert_array_equal(a.mvs[shape], b.mvs[shape])
+
+    def test_wrong_prepadded_shape(self, rng, cfg64):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        with pytest.raises(ValueError, match="pre-padded"):
+            motion_estimate_rows(ref, [ref], 0, 1, cfg64, refs_prepadded=True)

@@ -1,0 +1,104 @@
+"""Partition-mode bookkeeping: tiling, aggregation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.codec.config import PARTITION_MODES
+from repro.codec.partitions import (
+    all_modes,
+    get_mode,
+    partition_sads,
+    total_subpartitions,
+)
+
+EXPECTED_NPARTS = {
+    (16, 16): 1,
+    (16, 8): 2,
+    (8, 16): 2,
+    (8, 8): 4,
+    (8, 4): 8,
+    (4, 8): 8,
+    (4, 4): 16,
+}
+
+
+class TestModes:
+    @pytest.mark.parametrize("shape", PARTITION_MODES)
+    def test_npart_counts(self, shape):
+        assert get_mode(shape).nparts == EXPECTED_NPARTS[shape]
+
+    def test_total_is_41(self):
+        assert total_subpartitions() == 41
+
+    @pytest.mark.parametrize("shape", PARTITION_MODES)
+    def test_cells_partition_the_mb(self, shape):
+        mode = get_mode(shape)
+        # Each 4x4 cell belongs to exactly one sub-partition.
+        col_sums = mode.cell_matrix.sum(axis=0)
+        np.testing.assert_array_equal(col_sums, np.ones(16))
+
+    @pytest.mark.parametrize("shape", PARTITION_MODES)
+    def test_cells_per_partition(self, shape):
+        mode = get_mode(shape)
+        h, w = shape
+        row_sums = mode.cell_matrix.sum(axis=1)
+        np.testing.assert_array_equal(row_sums, np.full(mode.nparts, (h // 4) * (w // 4)))
+
+    @pytest.mark.parametrize("shape", PARTITION_MODES)
+    def test_origins_raster_order_and_disjoint(self, shape):
+        mode = get_mode(shape)
+        seen = set()
+        for oy, ox in mode.origins:
+            assert 0 <= oy < 16 and 0 <= ox < 16
+            assert (oy, ox) not in seen
+            seen.add((oy, ox))
+        assert sorted(seen) == [tuple(o) for o in mode.origins]
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            get_mode((2, 2))
+
+    def test_all_modes_respects_enabled_subset(self):
+        modes = all_modes(((16, 16), (8, 8)))
+        assert [m.shape for m in modes] == [(16, 16), (8, 8)]
+
+    def test_mode_cached(self):
+        assert get_mode((16, 16)) is get_mode((16, 16))
+
+
+class TestAggregation:
+    def test_16x16_sums_all_cells(self, rng):
+        cells = rng.integers(0, 100, (4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode((16, 16)))
+        assert got.shape == (1,)
+        assert got[0] == cells.sum()
+
+    def test_h16_w8_splits_left_right(self, rng):
+        # Shapes are (height, width): (16, 8) = full height, half width.
+        cells = rng.integers(0, 100, (4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode((16, 8)))
+        assert got[0] == cells[:, :2].sum()
+        assert got[1] == cells[:, 2:].sum()
+
+    def test_h8_w16_splits_top_bottom(self, rng):
+        cells = rng.integers(0, 100, (4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode((8, 16)))
+        assert got[0] == cells[:2].sum()
+        assert got[1] == cells[2:].sum()
+
+    def test_4x4_identity(self, rng):
+        cells = rng.integers(0, 100, (4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode((4, 4)))
+        np.testing.assert_array_equal(got, cells.reshape(16))
+
+    def test_batch_dimensions_preserved(self, rng):
+        cells = rng.integers(0, 100, (3, 5, 4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode((8, 8)))
+        assert got.shape == (3, 5, 4)
+        assert got.sum() == pytest.approx(cells.sum())
+
+    @pytest.mark.parametrize("shape", PARTITION_MODES)
+    def test_partition_sads_conserve_total(self, rng, shape):
+        cells = rng.integers(0, 100, (4, 4)).astype(np.float64)
+        got = partition_sads(cells, get_mode(shape))
+        assert got.sum() == pytest.approx(cells.sum())

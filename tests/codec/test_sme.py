@@ -1,0 +1,161 @@
+"""SME: sub-pixel refinement correctness."""
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.codec.interpolation import interpolate_plane
+from repro.codec.me import motion_estimate_rows
+from repro.codec.sme import SubpelField, subpel_refine_rows
+
+
+@pytest.fixture
+def cfg():
+    return CodecConfig(width=64, height=64, search_range=4, num_ref_frames=1)
+
+
+def run_sme(cur, ref, cfg, row0=0, nrows=None):
+    nrows = nrows if nrows is not None else cfg.mb_rows
+    me = motion_estimate_rows(cur, [ref], 0, cfg.mb_rows, cfg)
+    sf = interpolate_plane(ref)
+    return me, subpel_refine_rows(cur, [sf], me, row0, nrows, cfg)
+
+
+class TestRefinement:
+    def test_never_worse_than_fullpel(self, rng, cfg):
+        """Refined SAD ≤ the SF-sampled SAD at the full-pel position."""
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me, sme = run_sme(cur, ref, cfg)
+        cfg_off = CodecConfig(
+            width=64, height=64, search_range=4, num_ref_frames=1, subpel=False
+        )
+        sf = interpolate_plane(ref)
+        base = subpel_refine_rows(cur, [sf], me, 0, 4, cfg_off)
+        # subpel=False keeps full-pel MVs with ME SADs; on interior MBs the
+        # SF-sampled value at full-pel equals the ME SAD, so refinement
+        # can only improve.
+        for shape in sme.mode_shapes:
+            assert (
+                sme.sads[shape][1:-1, 1:-1] <= base.sads[shape][1:-1, 1:-1]
+            ).all()
+
+    def test_exact_halfpel_shift_recovered(self, cfg):
+        """Current = half-pel interpolation of ref ⇒ SME finds (0, +2)."""
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 256, (80, 80), dtype=np.uint8)
+        # Smooth the base so interpolation is well-behaved.
+        base = ((base.astype(np.int32)
+                 + np.roll(base, 1, 1) + np.roll(base, -1, 1)
+                 + np.roll(base, 1, 0) + np.roll(base, -1, 0)) // 5).astype(np.uint8)
+        ref = base[8:72, 8:72].copy()
+        sf_full = interpolate_plane(ref)
+        cur = sf_full[0::4, 2::4]  # horizontal half-pel samples (b positions)
+        me, sme = run_sme(cur, ref, cfg)
+        mv = sme.qmvs[(16, 16)][1:-1, 1:-1, 0, :]
+        # For interior MBs the dominant refined offset must be (0, +2).
+        frac_match = ((mv[..., 0] == 0) & (mv[..., 1] == 2)).mean()
+        assert frac_match > 0.7
+
+    def test_identical_frames_zero_mv(self, rng, cfg):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me, sme = run_sme(ref, ref, cfg)
+        assert (sme.qmvs[(16, 16)] == 0).all()
+        assert (sme.sads[(16, 16)] == 0).all()
+
+    def test_subpel_disabled_keeps_fullpel(self, rng):
+        cfg = CodecConfig(
+            width=64, height=64, search_range=4, num_ref_frames=1, subpel=False
+        )
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me, sme = run_sme(cur, ref, cfg)
+        for shape in sme.mode_shapes:
+            np.testing.assert_array_equal(sme.qmvs[shape], 4 * me.mvs[shape])
+            np.testing.assert_array_equal(sme.sads[shape], me.sads[shape])
+
+    def test_qmv_within_quarter_ring_of_fullpel_interior(self, rng, cfg):
+        """Away from borders (no clamping) the refinement moves ≤ ±3/4 pel."""
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me, sme = run_sme(cur, ref, cfg)
+        for shape in sme.mode_shapes:
+            d = sme.qmvs[shape][1:-1, 1:-1] - 4 * me.mvs[shape][1:-1, 1:-1]
+            assert (np.abs(d) <= 3).all()  # half ring (±2) + quarter ring (±1)
+
+    def test_border_clamping_keeps_blocks_inside(self, rng, cfg):
+        """At frame borders the effective position never leaves the SF."""
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me, sme = run_sme(cur, ref, cfg)
+        from repro.codec.partitions import get_mode
+
+        for shape in sme.mode_shapes:
+            mode = get_mode(shape)
+            bh, bw = shape
+            for r in range(4):
+                for c in range(4):
+                    for p in range(mode.nparts):
+                        oy, ox = mode.origins[p]
+                        qy = 4 * (16 * r + oy) + sme.qmvs[shape][r, c, p, 0]
+                        qx = 4 * (16 * c + ox) + sme.qmvs[shape][r, c, p, 1]
+                        assert 0 <= qy <= 4 * (64 - bh)
+                        assert 0 <= qx <= 4 * (64 - bw)
+
+
+class TestBands:
+    def test_band_matches_full(self, rng, cfg):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me = motion_estimate_rows(cur, [ref], 0, 4, cfg)
+        sf = interpolate_plane(ref)
+        full = subpel_refine_rows(cur, [sf], me, 0, 4, cfg)
+        band = subpel_refine_rows(cur, [sf], me, 1, 2, cfg)
+        for shape in full.mode_shapes:
+            np.testing.assert_array_equal(band.qmvs[shape], full.qmvs[shape][1:3])
+
+    def test_merge(self, rng, cfg):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me = motion_estimate_rows(cur, [ref], 0, 4, cfg)
+        sf = interpolate_plane(ref)
+        full = subpel_refine_rows(cur, [sf], me, 0, 4, cfg)
+        parts = [
+            subpel_refine_rows(cur, [sf], me, 0, 2, cfg),
+            subpel_refine_rows(cur, [sf], me, 2, 2, cfg),
+        ]
+        merged = SubpelField.merge(parts)
+        for shape in full.mode_shapes:
+            np.testing.assert_array_equal(merged.qmvs[shape], full.qmvs[shape])
+            np.testing.assert_array_equal(merged.sads[shape], full.sads[shape])
+
+    def test_band_not_covered_by_me(self, rng, cfg):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me = motion_estimate_rows(cur, [ref], 0, 2, cfg)
+        sf = interpolate_plane(ref)
+        with pytest.raises(ValueError, match="not covered"):
+            subpel_refine_rows(cur, [sf], me, 1, 3, cfg)
+
+    def test_merge_gap_rejected(self, rng, cfg):
+        ref = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        me = motion_estimate_rows(cur, [ref], 0, 4, cfg)
+        sf = interpolate_plane(ref)
+        a = subpel_refine_rows(cur, [sf], me, 0, 1, cfg)
+        c = subpel_refine_rows(cur, [sf], me, 2, 2, cfg)
+        with pytest.raises(ValueError, match="contiguous"):
+            SubpelField.merge([a, c])
+
+
+class TestMultiRef:
+    def test_refines_in_chosen_reference(self, rng):
+        cfg = CodecConfig(width=64, height=64, search_range=4, num_ref_frames=2)
+        ref0 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        ref1 = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        cur = ref1.copy()
+        me = motion_estimate_rows(cur, [ref0, ref1], 0, 4, cfg)
+        sfs = [interpolate_plane(ref0), interpolate_plane(ref1)]
+        sme = subpel_refine_rows(cur, sfs, me, 0, 4, cfg)
+        assert (sme.refs[(16, 16)] == 1).all()
+        assert (sme.sads[(16, 16)] == 0).all()

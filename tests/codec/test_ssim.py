@@ -1,0 +1,64 @@
+"""SSIM metric."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quality import ssim
+
+
+class TestSsim:
+    def test_identical_planes_score_one(self, rng):
+        a = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_range(self, rng):
+        a = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        b = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        s = ssim(a, b)
+        assert -1.0 < s < 1.0
+
+    def test_small_noise_scores_high(self, rng):
+        a = rng.integers(40, 200, (64, 64)).astype(np.uint8)
+        noise = rng.normal(0, 2, a.shape)
+        b = np.clip(a + noise, 0, 255).astype(np.uint8)
+        assert ssim(a, b) > 0.9
+
+    def test_structural_damage_scores_lower_than_brightness_shift(self, rng):
+        """SSIM's point: a uniform shift hurts less than scrambling."""
+        a = rng.integers(40, 200, (64, 64)).astype(np.uint8)
+        shifted = np.clip(a.astype(int) + 10, 0, 255).astype(np.uint8)
+        scrambled = rng.permutation(a.ravel()).reshape(a.shape)
+        assert ssim(a, shifted) > ssim(a, scrambled)
+
+    def test_ordering_matches_degradation(self, rng):
+        a = rng.integers(40, 200, (64, 64)).astype(np.uint8)
+        mild = np.clip(a + rng.normal(0, 3, a.shape), 0, 255).astype(np.uint8)
+        harsh = np.clip(a + rng.normal(0, 30, a.shape), 0, 255).astype(np.uint8)
+        assert ssim(a, mild) > ssim(a, harsh)
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        b = rng.integers(0, 256, (32, 32), dtype=np.uint8)
+        assert ssim(a, b) == pytest.approx(ssim(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_bad_window(self):
+        a = np.zeros((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            ssim(a, a, window=1)
+        with pytest.raises(ValueError):
+            ssim(a, a, window=64)
+
+    def test_encoder_recon_ssim_reasonable(self):
+        from repro.codec.config import CodecConfig
+        from repro.codec.encoder import ReferenceEncoder
+        from repro.video.generator import SyntheticSequence
+
+        cfg = CodecConfig(width=128, height=96, search_range=8)
+        clip = SyntheticSequence(width=128, height=96, seed=3).frames(3)
+        out = ReferenceEncoder(cfg).encode_sequence(clip)
+        for src, enc in zip(clip, out):
+            assert ssim(src.y, enc.recon.y) > 0.85

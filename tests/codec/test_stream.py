@@ -1,0 +1,141 @@
+"""Bitstream serialization and standalone decoder: closed-loop properties."""
+
+import numpy as np
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.config import CodecConfig
+from repro.codec.decoder import SequenceDecoder
+from repro.codec.encoder import ReferenceEncoder
+from repro.codec.stream import StreamEncoder, read_stream, write_stream
+from repro.codec.syntax import read_sequence_header, write_sequence_header
+from repro.video.generator import SyntheticSequence
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return SyntheticSequence(width=128, height=96, seed=17, noise_sigma=1.5).frames(6)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return CodecConfig(width=128, height=96, search_range=8, num_ref_frames=2)
+
+
+class TestSequenceHeader:
+    def test_roundtrip_default(self):
+        cfg = CodecConfig(width=1920, height=1088, search_range=16,
+                          num_ref_frames=4)
+        w = BitWriter()
+        write_sequence_header(w, cfg)
+        back = read_sequence_header(BitReader(w.to_bytes()))
+        assert back.width == cfg.width and back.height == cfg.height
+        assert back.qp_i == cfg.qp_i and back.qp_p == cfg.qp_p
+        assert back.num_ref_frames == cfg.num_ref_frames
+        assert back.search_range == cfg.search_range
+        assert back.enabled_partitions == cfg.enabled_partitions
+
+    def test_roundtrip_partition_subset(self):
+        cfg = CodecConfig(width=64, height=48,
+                          enabled_partitions=((16, 16), (4, 4)))
+        w = BitWriter()
+        write_sequence_header(w, cfg)
+        back = read_sequence_header(BitReader(w.to_bytes()))
+        assert back.enabled_partitions == ((16, 16), (4, 4))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            read_sequence_header(BitReader(b"\x00" * 16))
+
+
+class TestClosedLoop:
+    def test_decoder_matches_encoder_recon(self, cfg, clip):
+        """Drift-free: every decoded frame == the encoder's reconstruction."""
+        enc = StreamEncoder(cfg)
+        dec = SequenceDecoder.from_header(enc.sequence_header())
+        for f in clip:
+            stats, packet = enc.encode_frame(f)
+            rec = dec.decode_packet(packet)
+            np.testing.assert_array_equal(stats.recon.y, rec.y)
+            np.testing.assert_array_equal(stats.recon.u, rec.u)
+            np.testing.assert_array_equal(stats.recon.v, rec.v)
+
+    def test_long_gop_no_drift(self):
+        """Drift would accumulate: check a longer GOP at a coarser QP."""
+        cfg = CodecConfig(width=64, height=64, search_range=4,
+                          num_ref_frames=1, qp_i=35, qp_p=36)
+        clip = SyntheticSequence(width=64, height=64, seed=5).frames(12)
+        enc = StreamEncoder(cfg)
+        dec = SequenceDecoder.from_header(enc.sequence_header())
+        for f in clip:
+            stats, packet = enc.encode_frame(f)
+            rec = dec.decode_packet(packet)
+            np.testing.assert_array_equal(stats.recon.y, rec.y)
+
+    def test_packet_size_tracks_bit_estimate(self, cfg, clip):
+        """The serialized size must match the rate accounting closely."""
+        enc = StreamEncoder(cfg)
+        for f in clip:
+            stats, packet = enc.encode_frame(f)
+            est_bytes = stats.bits / 8
+            assert abs(len(packet) - est_bytes) < 0.15 * est_bytes + 64
+
+    def test_multi_ref_stream(self):
+        cfg = CodecConfig(width=128, height=96, search_range=8,
+                          num_ref_frames=3)
+        clip = SyntheticSequence(width=128, height=96, seed=9).frames(6)
+        enc = StreamEncoder(cfg)
+        dec = SequenceDecoder.from_header(enc.sequence_header())
+        for f in clip:
+            stats, packet = enc.encode_frame(f)
+            rec = dec.decode_packet(packet)
+            np.testing.assert_array_equal(stats.recon.y, rec.y)
+
+    def test_reset_starts_new_gop(self, cfg, clip):
+        enc = StreamEncoder(cfg)
+        enc.encode_frame(clip[0])
+        enc.encode_frame(clip[1])
+        enc.reset()
+        stats, _ = enc.encode_frame(clip[2])
+        assert stats.is_intra
+
+    def test_reference_encoder_without_syntax_has_none(self, cfg, clip):
+        enc = ReferenceEncoder(cfg)  # keep_syntax defaults off
+        out = enc.encode_frame(clip[0])
+        assert out.syntax is None
+
+
+class TestContainer:
+    def test_file_roundtrip(self, tmp_path, cfg, clip):
+        path = tmp_path / "clip.fevs"
+        stats = write_stream(path, clip, cfg)
+        cfg_back, frames = read_stream(path)
+        assert cfg_back.width == cfg.width
+        assert len(frames) == len(clip)
+        for s, f in zip(stats, frames):
+            np.testing.assert_array_equal(s.recon.y, f.y)
+
+    def test_compression_actually_happens(self, tmp_path, cfg, clip):
+        from repro.video.yuv import frame_bytes
+
+        path = tmp_path / "clip.fevs"
+        write_stream(path, clip, cfg)
+        raw = len(clip) * frame_bytes(cfg.width, cfg.height)
+        assert path.stat().st_size < raw / 4
+
+    def test_truncated_container_detected(self, tmp_path, cfg, clip):
+        path = tmp_path / "clip.fevs"
+        write_stream(path, clip[:2], cfg)
+        data = path.read_bytes()
+        (tmp_path / "cut.fevs").write_bytes(data[: len(data) - 10])
+        with pytest.raises(ValueError, match="truncated"):
+            read_stream(tmp_path / "cut.fevs")
+
+    def test_decoded_quality_matches_encoder_psnr(self, tmp_path, cfg, clip):
+        from repro.codec.quality import psnr
+
+        path = tmp_path / "clip.fevs"
+        stats = write_stream(path, clip, cfg)
+        _, frames = read_stream(path)
+        for src, s, rec in zip(clip, stats, frames):
+            assert psnr(src.y, rec.y) == pytest.approx(s.psnr["y"], abs=1e-9)

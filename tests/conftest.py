@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.codec.frames import YuvFrame
+from repro.video.generator import SyntheticSequence
+
+
+@pytest.fixture
+def small_cfg() -> CodecConfig:
+    """A fast codec configuration for real-compute tests."""
+    return CodecConfig(width=128, height=96, search_range=8, num_ref_frames=2)
+
+
+@pytest.fixture
+def tiny_cfg() -> CodecConfig:
+    """The smallest sensible configuration (single-MB-row edge cases)."""
+    return CodecConfig(width=64, height=48, search_range=4, num_ref_frames=1)
+
+
+@pytest.fixture
+def small_sequence(small_cfg) -> list[YuvFrame]:
+    seq = SyntheticSequence(
+        width=small_cfg.width, height=small_cfg.height, seed=11, noise_sigma=1.5
+    )
+    return seq.frames(5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def random_frame(rng: np.random.Generator, width: int, height: int) -> YuvFrame:
+    """Uniform-noise frame (worst case for prediction, good for coverage)."""
+    return YuvFrame(
+        y=rng.integers(0, 256, (height, width), dtype=np.uint8),
+        u=rng.integers(0, 256, (height // 2, width // 2), dtype=np.uint8),
+        v=rng.integers(0, 256, (height // 2, width // 2), dtype=np.uint8),
+    )

@@ -1,0 +1,103 @@
+"""Analysis utilities: utilization, efficiency bounds, convergence."""
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.core.analysis import (
+    communication_volume,
+    convergence_frame,
+    ideal_aggregate_fps,
+    parallel_efficiency,
+    utilization_summary,
+)
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+@pytest.fixture(scope="module")
+def syshk_run():
+    fw = FevesFramework(get_platform("SysHK"), CFG, FrameworkConfig())
+    fw.run_model(15)
+    return fw
+
+
+class TestUtilization:
+    def test_gpu_compute_highly_utilized(self, syshk_run):
+        summary = utilization_summary(syshk_run.reports)
+        assert summary.compute_utilization("GPU_K") > 0.8
+
+    def test_all_fractions_valid(self, syshk_run):
+        summary = utilization_summary(syshk_run.reports)
+        for res, u in summary.per_resource.items():
+            assert 0.0 <= u <= 1.0, res
+
+    def test_busiest_is_a_compute_engine(self, syshk_run):
+        name, u = utilization_summary(syshk_run.reports).busiest()
+        assert name.endswith(".compute")
+        assert u > 0.5
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_summary([])
+
+
+class TestIdealBound:
+    def test_bound_exceeds_measured(self, syshk_run):
+        bound = ideal_aggregate_fps(syshk_run.platform, CFG)
+        assert bound > syshk_run.steady_state_fps()
+
+    def test_bound_exceeds_best_single_device(self):
+        platform = get_platform("SysHK")
+        bound = ideal_aggregate_fps(platform, CFG)
+        from repro.hw.calibration import predict_single_device_fps
+
+        best_single = max(
+            predict_single_device_fps(d.spec, CFG)
+            if not d.is_accelerator
+            else predict_single_device_fps(d.spec, CFG)
+            for d in platform.devices
+        )
+        assert bound > best_single
+
+    def test_efficiency_in_range(self, syshk_run):
+        eff = parallel_efficiency(
+            syshk_run.steady_state_fps(), syshk_run.platform, CFG
+        )
+        assert 0.80 < eff <= 1.0  # FEVES gets close to the ideal aggregate
+
+    def test_refs_scale_bound(self):
+        platform = get_platform("SysHK")
+        one = ideal_aggregate_fps(platform, CFG, active_refs=1)
+        four = ideal_aggregate_fps(platform, CFG, active_refs=4)
+        assert four < one
+
+
+class TestConvergence:
+    def test_feves_converges_by_frame_two(self, syshk_run):
+        frame = convergence_frame([t for t in syshk_run.trace.frame_times_s])
+        assert 1 <= frame <= 3
+
+    def test_never_settling_trace(self):
+        assert convergence_frame([1.0, 2.0, 1.0, 2.0, 1.0]) == 5  # only last
+        assert convergence_frame([5.0]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_frame([])
+
+
+class TestCommunication:
+    def test_steady_state_volume_positive_and_bounded(self, syshk_run):
+        vol = communication_volume(syshk_run.reports)
+        assert vol["h2d"] > 0
+        # Far less than re-shipping every buffer wholesale each frame.
+        from repro.hw.interconnect import BufferSizes
+
+        sizes = BufferSizes(CFG.width, CFG.height)
+        everything = CFG.mb_rows * (
+            sizes.cf_row + sizes.cf_row_full + sizes.sf_row * 2 + sizes.rf_row
+        )
+        assert vol["h2d"] < everything

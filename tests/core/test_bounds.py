@@ -1,0 +1,111 @@
+"""MS_BOUNDS / LS_BOUNDS and the σ/σʳ remainder split."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import ls_bounds, ms_bounds, sf_remainder_segments
+from repro.core.distribution import Distribution
+
+
+def dist(*rows):
+    return Distribution(rows=tuple(rows), total=sum(rows))
+
+
+class TestMsBounds:
+    def test_identical_bands_no_extra(self):
+        m = s = dist(10, 10)
+        for i in range(2):
+            assert ms_bounds(m, s, i).rows == 0
+
+    def test_shifted_bands(self):
+        m = dist(10, 10)   # dev0: [0,10), dev1: [10,20)
+        s = dist(6, 14)    # dev0: [0,6),  dev1: [6,20)
+        assert ms_bounds(m, s, 0).rows == 0       # [0,6) ⊂ [0,10)
+        d1 = ms_bounds(m, s, 1)
+        assert d1.rows == 4                       # [6,10) missing
+        assert d1.segments == ((6, 10),)
+
+    def test_disjoint_bands_full_fetch(self):
+        m = dist(20, 0)
+        s = dist(0, 20)
+        assert ms_bounds(m, s, 1).rows == 20
+
+    def test_need_on_both_sides(self):
+        m = dist(5, 10, 5)   # dev1: [5,15)
+        s = dist(2, 16, 2)   # dev1: [2,18)
+        d = ms_bounds(m, s, 1)
+        assert d.segments == ((2, 5), (15, 18))
+        assert d.rows == 6
+
+
+class TestLsBounds:
+    def test_halo_expands_need(self):
+        l = s = dist(10, 10)
+        # without halo: aligned, no extra.
+        assert ls_bounds(l, s, 0, halo=0).rows == 0
+        # with halo=2: device 0 needs rows [0,12) but holds [0,10).
+        d = ls_bounds(l, s, 0, halo=2)
+        assert d.segments == ((10, 12),)
+        # device 1 needs [8,20), holds [10,20).
+        d1 = ls_bounds(l, s, 1, halo=2)
+        assert d1.segments == ((8, 10),)
+
+    def test_halo_clipped_at_frame_edges(self):
+        l = s = dist(20)
+        assert ls_bounds(l, s, 0, halo=5).rows == 0
+
+    def test_negative_halo_rejected(self):
+        with pytest.raises(ValueError):
+            ls_bounds(dist(4), dist(4), 0, halo=-1)
+
+
+class TestSfRemainder:
+    def test_full_budget_transfers_everything(self):
+        l = dist(10, 10)
+        s = dist(10, 10)
+        sigma, rem = sf_remainder_segments(l, s, 0, halo=0, budget_rows=100)
+        assert sigma.rows == 10  # the other device's band
+        assert rem.rows == 0
+
+    def test_zero_budget_defers_everything(self):
+        l = dist(10, 10)
+        s = dist(10, 10)
+        sigma, rem = sf_remainder_segments(l, s, 1, halo=0, budget_rows=0)
+        assert sigma.rows == 0
+        assert rem.rows == 10
+
+    def test_partial_budget_split(self):
+        l = dist(10, 10)
+        s = dist(10, 10)
+        sigma, rem = sf_remainder_segments(l, s, 0, halo=0, budget_rows=4)
+        assert sigma.rows == 4
+        assert rem.rows == 6
+        assert sigma.segments == ((10, 14),)
+        assert rem.segments == ((14, 20),)
+
+    @given(
+        l0=st.integers(min_value=0, max_value=20),
+        s0=st.integers(min_value=0, max_value=20),
+        halo=st.integers(min_value=0, max_value=3),
+        budget=st.integers(min_value=0, max_value=25),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_invariant(self, l0, s0, halo, budget):
+        """own INT band ∪ Δl ∪ σ ∪ σʳ must cover the whole SF exactly."""
+        total = 20
+        l = dist(l0, total - l0)
+        s = dist(s0, total - s0)
+        for dev in range(2):
+            held = [l.band(dev)]
+            held += list(ls_bounds(l, s, dev, halo).segments)
+            sigma, rem = sf_remainder_segments(l, s, dev, halo, budget)
+            held += list(sigma.segments) + list(rem.segments)
+            held = [(a, b) for a, b in held if b > a]
+            covered = set()
+            for a, b in held:
+                for r in range(a, b):
+                    assert r not in covered, "segments must not overlap"
+                    covered.add(r)
+            assert covered == set(range(total))
+            assert sigma.rows <= budget

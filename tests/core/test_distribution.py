@@ -1,0 +1,114 @@
+"""Distribution vectors, rounding and interval arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    Distribution,
+    missing_segments,
+    overlap_rows,
+    round_preserving_sum,
+)
+
+
+class TestDistribution:
+    def test_sum_enforced(self):
+        with pytest.raises(ValueError, match="sums to"):
+            Distribution(rows=(3, 3), total=7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Distribution(rows=(-1, 8), total=7)
+
+    def test_bands_are_prefix_intervals(self):
+        d = Distribution(rows=(3, 0, 5), total=8)
+        assert d.bands() == [(0, 3), (3, 3), (3, 8)]
+
+    def test_equidistant_balanced(self):
+        d = Distribution.equidistant(68, 3)
+        assert sorted(d.rows, reverse=True) == [23, 23, 22]
+        assert sum(d.rows) == 68
+
+    def test_equidistant_exact_division(self):
+        assert Distribution.equidistant(68, 2).rows == (34, 34)
+
+    def test_single_device(self):
+        d = Distribution.single_device(10, 3, 1)
+        assert d.rows == (0, 10, 0)
+        assert d.band(1) == (0, 10)
+
+    @given(
+        total=st.integers(min_value=1, max_value=200),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equidistant_properties(self, total, n):
+        d = Distribution.equidistant(total, n)
+        assert sum(d.rows) == total
+        assert max(d.rows) - min(d.rows) <= 1
+
+
+class TestRounding:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rounding_preserves_sum_and_sign(self, fracs, total):
+        out = round_preserving_sum(np.array(fracs), total)
+        assert sum(out) == total
+        assert all(x >= 0 for x in out)
+
+    def test_proportionality(self):
+        out = round_preserving_sum(np.array([1.0, 3.0]), 40)
+        assert out == (10, 30)
+
+    def test_all_zero_falls_back_to_equidistant(self):
+        out = round_preserving_sum(np.array([0.0, 0.0]), 10)
+        assert sum(out) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            round_preserving_sum(np.array([-1.0, 2.0]), 5)
+
+
+class TestIntervals:
+    def test_overlap(self):
+        assert overlap_rows((0, 5), (3, 8)) == 2
+        assert overlap_rows((0, 5), (5, 8)) == 0
+        assert overlap_rows((2, 4), (0, 10)) == 2
+
+    def test_missing_segments_no_have(self):
+        assert missing_segments((2, 6), (0, 0)) == [(2, 6)]
+
+    def test_missing_segments_covered(self):
+        assert missing_segments((2, 6), (0, 10)) == []
+
+    def test_missing_segments_above_and_below(self):
+        assert missing_segments((0, 10), (3, 6)) == [(0, 3), (6, 10)]
+
+    def test_missing_segments_partial(self):
+        assert missing_segments((0, 5), (3, 9)) == [(0, 3)]
+        assert missing_segments((4, 9), (0, 6)) == [(6, 9)]
+
+    def test_empty_need(self):
+        assert missing_segments((4, 4), (0, 10)) == []
+
+    @given(
+        n0=st.integers(min_value=0, max_value=20),
+        n1=st.integers(min_value=0, max_value=20),
+        h0=st.integers(min_value=0, max_value=20),
+        h1=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_missing_plus_overlap_covers_need(self, n0, n1, h0, h1):
+        need = (min(n0, n1), max(n0, n1))
+        have = (min(h0, h1), max(h0, h1))
+        segs = missing_segments(need, have)
+        covered = sum(b - a for a, b in segs) + overlap_rows(need, have)
+        assert covered == need[1] - need[0]
+        for a, b in segs:
+            assert need[0] <= a < b <= need[1]
+            assert overlap_rows((a, b), have) == 0

@@ -1,0 +1,142 @@
+"""The Algorithm-2 LP: optimality, feasibility and caching."""
+
+import pytest
+
+from repro.baselines.oracle import ground_truth_perf
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.load_balancing import LoadBalancer
+from repro.hw.presets import get_platform
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+def make_solver(platform_name="SysHK", **fw_kwargs):
+    platform = get_platform(platform_name)
+    fw = FrameworkConfig(**fw_kwargs)
+    balancer = LoadBalancer(platform, CFG, fw)
+    perf = ground_truth_perf(platform, CFG, active_refs=1)
+    gpus = [d.name for d in platform.gpus]
+    rstar = gpus[0] if gpus else platform.devices[0].name
+    needs_rf = {g: g != rstar for g in gpus}
+    sigma_r = {g: 0 for g in gpus}
+    return platform, balancer, perf, rstar, needs_rf, sigma_r
+
+
+class TestEquidistant:
+    def test_sums_and_balance(self):
+        _, balancer, *_ = make_solver("SysNFF")
+        d = balancer.equidistant()
+        for dist in (d.m, d.l, d.s):
+            assert sum(dist.rows) == 68
+            assert max(dist.rows) - min(dist.rows) <= 1
+        assert not d.used_lp
+
+
+class TestLpSolve:
+    def test_distributions_sum_to_n(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver()
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert d.used_lp
+        for dist in (d.m, d.l, d.s):
+            assert sum(dist.rows) == 68
+            assert all(r >= 0 for r in dist.rows)
+
+    def test_faster_device_gets_more_me(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver("SysHK")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        # GPU_K is ~2.6x faster than CPU_H on ME: it must get more rows.
+        assert d.m.rows[0] > d.m.rows[1]
+
+    def test_lp_beats_equidistant_prediction(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver("SysHK")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        # LP-predicted total time must beat the analytic equidistant bound:
+        # with an equal split, the CPU's half of the ME alone takes longer.
+        cpu_me_k = perf.k_compute("CPU_H", "me")
+        equi_cpu_me = cpu_me_k * 34
+        assert d.tau_tot_pred < equi_cpu_me + 0.02
+
+    def test_taus_ordered(self):
+        _, balancer, perf, rstar, needs_rf, sigma_r = make_solver("SysNFF")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert 0 <= d.tau1_pred <= d.tau2_pred <= d.tau_tot_pred
+
+    def test_unready_perf_falls_back_to_equidistant(self):
+        from repro.core.perf_model import PerformanceCharacterization
+
+        platform, balancer, _, rstar, needs_rf, sigma_r = make_solver()
+        empty = PerformanceCharacterization()
+        d = balancer.solve(empty, rstar, needs_rf, sigma_r)
+        assert not d.used_lp
+
+    def test_single_device_platform(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver("GPU_K")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert d.m.rows == (68,)
+
+    def test_sigma_rows_only_for_non_rstar_accels(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver("SysNFF")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert rstar not in d.sigma
+        assert "GPU_F2" in d.sigma
+        assert "GPU_F2" in d.sigma_r
+
+    def test_delta_terms_consistent_with_distributions(self):
+        from repro.core.bounds import ms_bounds
+
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver("SysNFF")
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        for i, dev in enumerate(platform.devices):
+            if dev.is_accelerator:
+                assert d.delta_m[i].rows == ms_bounds(d.m, d.s, i).rows
+            else:
+                assert d.delta_m[i].rows == 0
+
+
+class TestCaching:
+    def test_same_ks_reuse_decision(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            lb_cache_rtol=0.02
+        )
+        d1 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        d2 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert d2 is d1
+
+    def test_changed_ks_resolve(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            lb_cache_rtol=0.02
+        )
+        d1 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        perf.observe_compute("CPU_H", "me", 1, perf.k_compute("CPU_H", "me") * 2)
+        d2 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert d2 is not d1
+        # Slower CPU must lose ME rows.
+        assert d2.m.rows[1] < d1.m.rows[1]
+
+    def test_cache_disabled(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            lb_cache_rtol=0.0
+        )
+        d1 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        d2 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        assert d2 is not d1
+
+    def test_rstar_change_invalidates_cache(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            "SysHK", lb_cache_rtol=0.02
+        )
+        d1 = balancer.solve(perf, rstar, needs_rf, sigma_r)
+        d2 = balancer.solve(perf, "CPU_H", {"GPU_K": True}, sigma_r)
+        assert d2 is not d1
+
+
+class TestCpuCentric:
+    def test_cpu_rstar_feasible(self):
+        platform, balancer, perf, _, _, sigma_r = make_solver("SysHK")
+        needs_rf = {"GPU_K": True}  # CPU-centric: RF reconstructed on host
+        d = balancer.solve(perf, "CPU_H", needs_rf, sigma_r)
+        assert d.used_lp
+        assert sum(d.m.rows) == 68
+        # GPU still receives σ bookkeeping as a non-R* accelerator.
+        assert "GPU_K" in d.sigma

@@ -1,0 +1,101 @@
+"""Performance Characterization: observations, EWMA, derived transfer Ks."""
+
+import pytest
+
+from repro.core.perf_model import PerformanceCharacterization, buffer_row_bytes
+from repro.hw.interconnect import BufferSizes
+
+SIZES = BufferSizes(width=1920, height=1088)
+
+
+class TestComputeObservation:
+    def test_k_is_time_per_row(self):
+        p = PerformanceCharacterization()
+        p.observe_compute("dev", "me", rows=10, seconds=0.05)
+        assert p.k_compute("dev", "me") == pytest.approx(0.005)
+
+    def test_unmeasured_is_none(self):
+        p = PerformanceCharacterization()
+        assert p.k_compute("dev", "me") is None
+        assert p.rstar_frame_s("dev") is None
+
+    def test_alpha_one_takes_latest(self):
+        p = PerformanceCharacterization(alpha=1.0)
+        p.observe_compute("d", "sme", 10, 1.0)
+        p.observe_compute("d", "sme", 10, 2.0)
+        assert p.k_compute("d", "sme") == pytest.approx(0.2)
+
+    def test_ewma_blends(self):
+        p = PerformanceCharacterization(alpha=0.5)
+        p.observe_compute("d", "int", 10, 1.0)   # k = 0.1
+        p.observe_compute("d", "int", 10, 2.0)   # new = 0.2
+        assert p.k_compute("d", "int") == pytest.approx(0.15)
+
+    def test_zero_rows_ignored(self):
+        p = PerformanceCharacterization()
+        p.observe_compute("d", "me", 0, 1.0)
+        assert p.k_compute("d", "me") is None
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceCharacterization().observe_compute("d", "dct", 1, 1.0)
+
+    def test_rstar_observation(self):
+        p = PerformanceCharacterization()
+        p.observe_rstar("d", 0.004)
+        assert p.rstar_frame_s("d") == pytest.approx(0.004)
+
+
+class TestTransferObservation:
+    def test_bandwidth_estimate(self):
+        p = PerformanceCharacterization()
+        p.observe_transfer("g", "h2d", nbytes=1e9, seconds=0.2)
+        assert p.bandwidth("g", "h2d") == pytest.approx(5e9)
+        assert p.bandwidth("g", "d2h") is None
+
+    def test_k_transfer_derived_from_bandwidth(self):
+        p = PerformanceCharacterization()
+        p.observe_transfer("g", "h2d", nbytes=1e9, seconds=0.1)  # 10 GB/s
+        k = p.k_transfer("g", "sf", "h2d", SIZES)
+        assert k == pytest.approx(SIZES.sf_row / 1e10)
+
+    def test_one_observation_covers_all_buffers(self):
+        p = PerformanceCharacterization()
+        p.observe_transfer("g", "d2h", nbytes=1e6, seconds=1e-4)
+        for buf in ("cf", "cf_full", "rf", "sf", "mv"):
+            assert p.k_transfer("g", buf, "d2h", SIZES) is not None
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            PerformanceCharacterization().observe_transfer("g", "up", 1.0, 1.0)
+
+    def test_buffer_row_bytes_unknown(self):
+        with pytest.raises(ValueError):
+            buffer_row_bytes("dct", SIZES)
+
+
+class TestReadiness:
+    def test_ready_requires_all_modules_and_links(self):
+        p = PerformanceCharacterization()
+        assert not p.ready_for_lp(["c", "g"], ["g"])
+        for dev in ("c", "g"):
+            for mod in ("me", "int", "sme"):
+                p.observe_compute(dev, mod, 1, 0.01)
+        assert not p.ready_for_lp(["c", "g"], ["g"])  # link missing
+        p.observe_transfer("g", "h2d", 1e6, 1e-3)
+        p.observe_transfer("g", "d2h", 1e6, 1e-3)
+        assert p.ready_for_lp(["c", "g"], ["g"])
+
+    def test_snapshot_contains_estimates(self):
+        p = PerformanceCharacterization()
+        p.observe_compute("d", "me", 2, 0.01)
+        p.observe_rstar("d", 0.002)
+        p.observe_transfer("d", "h2d", 1e6, 1e-3)
+        snap = p.snapshot()
+        assert snap["d"]["k_me"] == pytest.approx(0.005)
+        assert snap["d"]["rstar_frame_s"] == pytest.approx(0.002)
+        assert "bw_h2d" in snap["d"]
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            PerformanceCharacterization(alpha=0.0)

@@ -1,0 +1,54 @@
+"""R* Dijkstra mapping."""
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.core.rstar import RSTAR_STAGES, select_rstar_device
+from repro.hw.presets import get_platform
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16)
+
+
+class TestSelection:
+    def test_fastest_device_wins(self):
+        p = get_platform("SysHK")
+        est = {"GPU_K": 0.002, "CPU_H": 0.005}
+        d = select_rstar_device(p, est, CFG)
+        assert d.device == "GPU_K"
+
+    def test_cpu_selected_when_faster(self):
+        p = get_platform("SysHK")
+        est = {"GPU_K": 0.010, "CPU_H": 0.001}
+        assert select_rstar_device(p, est, CFG).device == "CPU_H"
+
+    def test_path_stays_on_one_device(self):
+        """Migration costs dwarf R* compute: no stage switching."""
+        p = get_platform("SysNFF")
+        est = {"GPU_F": 0.004, "GPU_F2": 0.0039, "CPU_N": 0.008}
+        d = select_rstar_device(p, est, CFG)
+        devices_on_path = {dev for _, dev in d.path}
+        assert len(devices_on_path) == 1
+
+    def test_total_time_is_path_length(self):
+        p = get_platform("SysHK")
+        est = {"GPU_K": 0.002, "CPU_H": 0.005}
+        d = select_rstar_device(p, est, CFG)
+        assert d.total_s == pytest.approx(0.002, rel=0.01)
+
+    def test_missing_estimates_excluded(self):
+        p = get_platform("SysHK")
+        d = select_rstar_device(p, {"CPU_H": 0.01}, CFG)
+        assert d.device == "CPU_H"
+
+    def test_no_estimates_raises(self):
+        p = get_platform("SysHK")
+        with pytest.raises(ValueError):
+            select_rstar_device(p, {}, CFG)
+
+    def test_stage_shares_sum_to_one(self):
+        assert sum(share for _, share in RSTAR_STAGES) == pytest.approx(1.0)
+
+    def test_path_covers_all_stages(self):
+        p = get_platform("SysNF")
+        d = select_rstar_device(p, {"GPU_F": 0.004, "CPU_N": 0.008}, CFG)
+        assert [stage for stage, _ in d.path] == [s for s, _ in RSTAR_STAGES]

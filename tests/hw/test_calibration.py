@@ -1,0 +1,96 @@
+"""Device calibration from measured timings."""
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.hw.calibration import (
+    ModuleTiming,
+    calibrate_device,
+    fit_rates,
+    measure_link,
+    predict_single_device_fps,
+)
+from repro.hw.presets import GPU_K
+
+
+def timings_from_spec(spec, sa_side=32, n_refs=1, mb_cols=120, rows=68):
+    """Synthesize perfect measurements from a known spec (identity check)."""
+    cfg = CodecConfig(
+        width=mb_cols * 16, height=rows * 16,
+        search_range=sa_side // 2, num_ref_frames=n_refs,
+    )
+    r = spec.rates
+    return [
+        ModuleTiming("me", rows, r.me_row_s(cfg, n_refs) * rows, mb_cols,
+                     sa_side, n_refs),
+        ModuleTiming("int", rows, r.int_row_s(cfg) * rows, mb_cols),
+        ModuleTiming("sme", rows, r.sme_row_s(cfg) * rows, mb_cols),
+        ModuleTiming("rstar", rows, r.rstar_frame_s(cfg), mb_cols),
+    ]
+
+
+class TestFitRates:
+    def test_roundtrip_identity(self):
+        fitted = fit_rates(timings_from_spec(GPU_K))
+        assert fitted.me_mb_us == pytest.approx(GPU_K.rates.me_mb_us, rel=1e-9)
+        assert fitted.int_row_us == pytest.approx(GPU_K.rates.int_row_us, rel=1e-9)
+        assert fitted.sme_row_us == pytest.approx(GPU_K.rates.sme_row_us, rel=1e-9)
+        assert fitted.rstar_row_us == pytest.approx(GPU_K.rates.rstar_row_us, rel=1e-9)
+
+    def test_me_normalization_across_settings(self):
+        """Measurements at different SA/refs must agree after scaling."""
+        a = timings_from_spec(GPU_K, sa_side=32, n_refs=1)
+        b = timings_from_spec(GPU_K, sa_side=64, n_refs=4)
+        fitted = fit_rates(a + b)
+        assert fitted.me_mb_us == pytest.approx(GPU_K.rates.me_mb_us, rel=1e-9)
+
+    def test_missing_module_rejected(self):
+        t = timings_from_spec(GPU_K)[:2]
+        with pytest.raises(ValueError, match="no measurements"):
+            fit_rates(t)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            ModuleTiming("dct", 1, 1.0, 120)
+        with pytest.raises(ValueError):
+            ModuleTiming("me", 0, 1.0, 120)
+
+
+class TestMeasureLink:
+    def test_two_point_fit(self):
+        # latency 10us, 10 GB/s.
+        lat, bw = 10e-6, 10e9
+        samples = [(1e6, lat + 1e6 / bw), (64e6, lat + 64e6 / bw)]
+        link = measure_link(samples, samples, copy_engines=2)
+        assert link.h2d_gbps == pytest.approx(10.0, rel=1e-6)
+        assert link.latency_s == pytest.approx(10e-6, rel=1e-3)
+        assert link.copy_engines == 2
+
+    def test_single_sample_fallback(self):
+        link = measure_link([(1e9, 0.2)], [(1e9, 0.25)])
+        assert link.h2d_gbps == pytest.approx(5.0)
+        assert link.d2h_gbps == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measure_link([], [(1, 1)])
+
+
+class TestCalibrateDevice:
+    def test_full_pipeline(self):
+        link = measure_link([(1e9, 0.1)], [(1e9, 0.12)], copy_engines=2)
+        spec = calibrate_device("myGPU", "gpu", timings_from_spec(GPU_K), link)
+        assert spec.name == "myGPU"
+        assert spec.is_accelerator
+        cfg = CodecConfig(width=1920, height=1088, search_range=16)
+        fps = predict_single_device_fps(spec, cfg)
+        assert 40 < fps < 70  # GPU_K-class device
+
+    def test_prediction_matches_simulation(self):
+        """The analytic estimate must track the DES single-device result."""
+        from repro.baselines import run_single_device
+
+        cfg = CodecConfig(width=1920, height=1088, search_range=16)
+        analytic = predict_single_device_fps(GPU_K, cfg)
+        simulated = run_single_device("GPU_K", cfg, 5).steady_state_fps()
+        assert analytic == pytest.approx(simulated, rel=0.05)

@@ -1,0 +1,82 @@
+"""Device memory footprint model."""
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.hw.memory import (
+    device_footprint,
+    max_reference_frames,
+    validate_platform_memory,
+)
+from repro.hw.presets import GPU_F, GPU_K, get_platform
+
+HD = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=4)
+UHD = CodecConfig(width=3840, height=2176, search_range=16, num_ref_frames=16)
+
+
+class TestFootprint:
+    def test_sf_dominates(self):
+        fp = device_footprint(HD)
+        assert fp.sfs > fp.refs + fp.current + fp.mvs
+
+    def test_sf_is_16x_luma_per_reference(self):
+        fp = device_footprint(HD)
+        luma = 1920 * 1088
+        assert fp.sfs == HD.num_ref_frames * 16 * luma
+
+    def test_scales_with_refs(self):
+        one = device_footprint(
+            CodecConfig(width=1920, height=1088, num_ref_frames=1)
+        )
+        four = device_footprint(HD)
+        assert four.sfs == 4 * one.sfs
+
+    def test_rstar_adds_working_recon(self):
+        plain = device_footprint(HD, is_rstar=False)
+        rstar = device_footprint(HD, is_rstar=True)
+        assert rstar.total > plain.total
+
+    def test_total_sums_parts(self):
+        fp = device_footprint(HD)
+        assert fp.total == fp.refs + fp.sfs + fp.current + fp.mvs + fp.overhead
+
+
+class TestCapacity:
+    def test_1080p_fits_the_paper_gpus(self):
+        """At the paper's settings both GPUs hold the full working set."""
+        for spec in (GPU_F, GPU_K):
+            assert max_reference_frames(spec, HD) == 16
+
+    def test_4k_exceeds_fermi(self):
+        """At 4K the 16-RF SF alone (~2 GiB) outgrows the GTX 580."""
+        refs_f = max_reference_frames(GPU_F, UHD)
+        refs_k = max_reference_frames(GPU_K, UHD)
+        assert refs_f < 16
+        assert refs_k > refs_f  # 3 GiB card holds more references
+
+    def test_unmodelled_memory_unbounded(self):
+        from repro.hw.device import DeviceSpec
+        from repro.hw.interconnect import LinkSpec
+
+        no_mem = DeviceSpec(
+            name="g", kind="gpu", rates=GPU_F.rates,
+            link=LinkSpec(h2d_gbps=1, d2h_gbps=1),
+        )
+        assert max_reference_frames(no_mem, UHD) == 16
+
+
+class TestValidation:
+    def test_paper_configs_validate(self):
+        for name in ("SysNF", "SysNFF", "SysHK"):
+            for refs in (1, 4, 8):
+                cfg = CodecConfig(width=1920, height=1088, num_ref_frames=refs)
+                out = validate_platform_memory(get_platform(name), cfg)
+                assert out  # every accelerator reported
+
+    def test_oversized_config_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="max_reference_frames"):
+            validate_platform_memory(get_platform("SysNF"), UHD)
+
+    def test_cpu_never_checked(self):
+        out = validate_platform_memory(get_platform("SysHK"), HD)
+        assert "CPU_H" not in out

@@ -1,0 +1,122 @@
+"""Noise injection and timeline utilities."""
+
+import pytest
+
+from repro.hw.des import OpRecord
+from repro.hw.noise import (
+    GaussianJitter,
+    NoiseModel,
+    PerturbationEvent,
+    PerturbationSchedule,
+)
+from repro.hw.timeline import EncodingTrace, FrameTimeline
+
+
+class TestPerturbationSchedule:
+    def test_factor_applies_during_window(self):
+        sched = PerturbationSchedule(
+            [PerturbationEvent(frame=10, device="CPU", factor=2.0, duration=2)]
+        )
+        assert sched.factor(9, "CPU") == 1.0
+        assert sched.factor(10, "CPU") == 2.0
+        assert sched.factor(11, "CPU") == 2.0
+        assert sched.factor(12, "CPU") == 1.0
+
+    def test_device_scoped(self):
+        sched = PerturbationSchedule(
+            [PerturbationEvent(frame=5, device="GPU", factor=3.0)]
+        )
+        assert sched.factor(5, "CPU") == 1.0
+
+    def test_events_compose(self):
+        sched = PerturbationSchedule(
+            [
+                PerturbationEvent(frame=5, device="D", factor=2.0),
+                PerturbationEvent(frame=5, device="D", factor=1.5),
+            ]
+        )
+        assert sched.factor(5, "D") == 3.0
+
+    def test_paper_fig7b_events(self):
+        s1 = PerturbationSchedule.paper_fig7b("CPU_H", 1)
+        assert s1.factor(76, "CPU_H") == 2.0
+        assert s1.factor(81, "CPU_H") == 2.0
+        assert s1.factor(31, "CPU_H") == 1.0
+        s2 = PerturbationSchedule.paper_fig7b("CPU_H", 2)
+        assert {e.frame for e in s2.events} == {31, 71, 92}
+        s5 = PerturbationSchedule.paper_fig7b("CPU_H", 5)
+        assert s5.events == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationEvent(frame=1, device="D", factor=0.0)
+        with pytest.raises(ValueError):
+            PerturbationEvent(frame=1, device="D", factor=1.0, duration=0)
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self):
+        j = GaussianJitter(sigma=0.0)
+        assert j.sample() == 1.0
+
+    def test_seed_reproducible(self):
+        a = GaussianJitter(sigma=0.1, seed=5)
+        b = GaussianJitter(sigma=0.1, seed=5)
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+    def test_never_nonpositive(self):
+        j = GaussianJitter(sigma=2.0, seed=1)
+        assert all(j.sample() > 0 for _ in range(200))
+
+    def test_noise_model_combines(self):
+        nm = NoiseModel(
+            schedule=PerturbationSchedule(
+                [PerturbationEvent(frame=3, device="D", factor=2.0)]
+            ),
+            jitter=GaussianJitter(sigma=0.0),
+        )
+        assert nm.scale(3, "D") == 2.0
+        assert nm.scale(2, "D") == 1.0
+
+
+class TestTimeline:
+    def _timeline(self):
+        recs = [
+            OpRecord("ME", "gpu.compute", "compute", 0.0, 2.0),
+            OpRecord("CF", "gpu.copy", "h2d", 0.0, 0.5),
+            OpRecord("MV", "gpu.copy", "d2h", 2.0, 2.2),
+        ]
+        return FrameTimeline(frame_index=1, records=recs, tau1=2.2, tau2=3.0, tau_tot=4.0)
+
+    def test_busy_time(self):
+        tl = self._timeline()
+        assert tl.busy_time("gpu.compute") == pytest.approx(2.0)
+        assert tl.busy_time("gpu.copy") == pytest.approx(0.7)
+
+    def test_utilization(self):
+        tl = self._timeline()
+        assert tl.utilization("gpu.compute") == pytest.approx(0.5)
+
+    def test_by_category(self):
+        cats = self._timeline().by_category()
+        assert cats == pytest.approx({"compute": 2.0, "h2d": 0.5, "d2h": 0.2})
+
+    def test_gantt_text_renders(self):
+        text = self._timeline().gantt_text(width=40)
+        assert "gpu.compute" in text and "#" in text and ">" in text
+
+    def test_empty_timeline_text(self):
+        tl = FrameTimeline(frame_index=0, records=[])
+        assert "empty" in tl.gantt_text()
+
+
+class TestTrace:
+    def test_fps_accounting(self):
+        trace = EncodingTrace(platform="X")
+        for i, t in enumerate([0.1, 0.05, 0.05, 0.05]):
+            trace.add(FrameTimeline(frame_index=i, records=[], tau_tot=t))
+        assert trace.mean_fps() == pytest.approx(4 / 0.25)
+        assert trace.steady_state_fps(warmup=1) == pytest.approx(20.0)
+
+    def test_empty_trace(self):
+        assert EncodingTrace(platform="X").mean_fps() == 0.0

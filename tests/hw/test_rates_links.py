@@ -1,0 +1,98 @@
+"""Rate models, interconnect, buffer sizes."""
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.hw.interconnect import BufferSizes, LinkSpec
+from repro.hw.rates import ModuleRates
+
+
+@pytest.fixture
+def rates():
+    return ModuleRates(me_mb_us=2.0, int_row_us=50.0, sme_row_us=80.0, rstar_row_us=60.0)
+
+
+class TestModuleRates:
+    def test_me_quadratic_in_sa_side(self, rates):
+        small = CodecConfig(search_range=16)
+        big = CodecConfig(search_range=32)
+        assert rates.me_row_s(big, 1) == pytest.approx(4 * rates.me_row_s(small, 1))
+
+    def test_me_linear_in_refs(self, rates):
+        cfg = CodecConfig(search_range=16)
+        assert rates.me_row_s(cfg, 4) == pytest.approx(4 * rates.me_row_s(cfg, 1))
+
+    def test_me_calibration_point(self, rates):
+        cfg = CodecConfig(width=1920, height=1088, search_range=16)
+        # at SA 32, 1 ref: me_mb_us per MB.
+        assert rates.me_row_s(cfg, 1) == pytest.approx(2.0e-6 * 120)
+
+    def test_int_sme_scale_with_width_only(self, rates):
+        narrow = CodecConfig(width=960, height=1088, search_range=16)
+        wide = CodecConfig(width=1920, height=1088, search_range=16)
+        assert rates.int_row_s(wide) == pytest.approx(2 * rates.int_row_s(narrow))
+        assert rates.sme_row_s(wide) == pytest.approx(2 * rates.sme_row_s(narrow))
+        # ...and not with search range.
+        big_sa = CodecConfig(width=1920, height=1088, search_range=64)
+        assert rates.sme_row_s(big_sa) == pytest.approx(rates.sme_row_s(wide))
+
+    def test_rstar_frame_sums_rows(self, rates):
+        cfg = CodecConfig(width=1920, height=1088, search_range=16)
+        assert rates.rstar_frame_s(cfg) == pytest.approx(
+            68 * rates.rstar_row_s(cfg)
+        )
+
+    def test_invalid_refs(self, rates):
+        with pytest.raises(ValueError):
+            rates.me_row_s(CodecConfig(), 0)
+
+    def test_positive_constants_required(self):
+        with pytest.raises(ValueError):
+            ModuleRates(me_mb_us=0, int_row_us=1, sme_row_us=1, rstar_row_us=1)
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec(h2d_gbps=10.0, d2h_gbps=5.0, latency_s=1e-5)
+        t = link.transfer_s(1e9, "h2d")
+        assert t == pytest.approx(0.1 + 1e-5)
+
+    def test_asymmetric_directions(self):
+        link = LinkSpec(h2d_gbps=10.0, d2h_gbps=5.0, latency_s=0)
+        assert link.transfer_s(1e9, "d2h") == pytest.approx(
+            2 * link.transfer_s(1e9, "h2d")
+        )
+
+    def test_zero_bytes_free(self):
+        link = LinkSpec(h2d_gbps=10.0, d2h_gbps=5.0)
+        assert link.transfer_s(0, "h2d") == 0.0
+
+    def test_direction_validated(self):
+        link = LinkSpec(h2d_gbps=10.0, d2h_gbps=5.0)
+        with pytest.raises(ValueError):
+            link.transfer_s(100, "sideways")
+
+    def test_copy_engines_validated(self):
+        with pytest.raises(ValueError):
+            LinkSpec(h2d_gbps=1, d2h_gbps=1, copy_engines=3)
+
+    def test_negative_bytes_rejected(self):
+        link = LinkSpec(h2d_gbps=1, d2h_gbps=1)
+        with pytest.raises(ValueError):
+            link.transfer_s(-1, "h2d")
+
+
+class TestBufferSizes:
+    def test_1080p_sizes(self):
+        s = BufferSizes(width=1920, height=1088)
+        assert s.cf_row == 16 * 1920
+        assert s.cf_row_full == 16 * 1920 * 3 // 2
+        assert s.rf_frame == 1920 * 1088 * 3 // 2
+        assert s.sf_row == 256 * 1920           # 16 subpel samples / pixel
+        assert s.mv_row == 120 * 41 * 6
+
+    def test_sf_is_16_reference_frames(self):
+        """Paper §II: the SF structure is as large as 16 RFs (luma)."""
+        s = BufferSizes(width=1920, height=1088)
+        total_sf = s.sf_row * 68
+        assert total_sf == 16 * (1920 * 1088)

@@ -1,0 +1,64 @@
+"""Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+from repro.hw.trace_export import export_chrome_trace, timeline_to_events
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+@pytest.fixture(scope="module")
+def timelines():
+    fw = FevesFramework(get_platform("SysHK"), CFG, FrameworkConfig())
+    fw.run_model(4)
+    return [r.timeline for r in fw.reports]
+
+
+class TestTraceExport:
+    def test_events_structure(self, timelines):
+        events = timeline_to_events(timelines[0])
+        durations = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert durations and metas
+        for e in durations:
+            assert e["ts"] >= 0 and e["dur"] > 0
+            assert e["cat"] in ("kernel", "transfer_in", "transfer_out")
+
+    def test_resources_become_threads(self, timelines):
+        events = timeline_to_events(timelines[0])
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "GPU_K.compute" in names
+        assert "CPU_H.compute" in names
+
+    def test_file_export_valid_json(self, timelines, tmp_path):
+        path = tmp_path / "trace.json"
+        n = export_chrome_trace(timelines, path)
+        assert n > 0
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == n
+
+    def test_frames_laid_out_sequentially(self, timelines, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(timelines, path)
+        payload = json.loads(path.read_text())
+        by_frame: dict[int, list[float]] = {}
+        for e in payload["traceEvents"]:
+            if e["ph"] == "X":
+                by_frame.setdefault(e["args"]["frame"], []).append(e["ts"])
+        frames = sorted(by_frame)
+        for a, b in zip(frames, frames[1:]):
+            assert min(by_frame[b]) >= max(by_frame[a]) - 1e-6
+
+    def test_zero_duration_barriers_skipped(self, timelines, tmp_path):
+        events = timeline_to_events(timelines[0])
+        assert not any(
+            e["ph"] == "X" and e["name"] in ("tau1", "tau2") for e in events
+        )

@@ -1,0 +1,52 @@
+"""Reporting helpers."""
+
+import pytest
+
+from repro.report import ascii_bars, ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "fps"], [["GPU_K", "53.8"], ["CPU_N", "12.0"]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "fps" in lines[0]
+        assert "GPU_K" in lines[2]
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_title(self):
+        out = format_table(["a"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+
+class TestAsciiSeries:
+    def test_renders_series_and_legend(self):
+        out = ascii_series({"x": [1, 2, 3], "y": [3, 2, 1]})
+        assert "o=x" in out and "*=y" in out
+
+    def test_hline(self):
+        out = ascii_series({"t": [10, 30]}, hline=25, hline_label="real-time")
+        assert "---=real-time" in out
+        assert "-" in out
+
+    def test_empty(self):
+        assert ascii_series({}) == "(no data)"
+        assert ascii_series({"x": []}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        out = ascii_series({"c": [5, 5, 5]})
+        assert "o" in out
+
+
+class TestAsciiBars:
+    def test_bars_scale(self):
+        out = ascii_bars({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(no data)"

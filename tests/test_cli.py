@@ -1,0 +1,71 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.video.generator import moving_objects_sequence
+from repro.video.yuv import write_yuv420
+
+
+class TestCli:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "SysHK" in out and "SysNFF" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--platform", "SysHK", "--frames", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "steady-state" in out
+        assert "R* device: GPU_K" in out
+
+    def test_run_cpu_centric(self, capsys):
+        assert main(
+            ["run", "--platform", "SysNF", "--frames", "5", "--centric", "cpu"]
+        ) == 0
+        assert "R* device: CPU_N" in capsys.readouterr().out
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--platform", "SysXY"])
+
+    def test_encode_decode_roundtrip(self, tmp_path, capsys):
+        clip = moving_objects_sequence(width=64, height=48, count=3, seed=2)
+        src = tmp_path / "in.yuv"
+        write_yuv420(src, clip)
+        stream = tmp_path / "out.fevs"
+        rc = main([
+            "encode", str(src), "--size", "64x48", "--out", str(stream),
+            "--sa", "8", "--qp", "30",
+        ])
+        assert rc == 0
+        assert stream.exists()
+        recon = tmp_path / "recon.yuv"
+        assert main(["decode", str(stream), "--out", str(recon)]) == 0
+        out = capsys.readouterr().out
+        assert "decoded 3 frames" in out
+        # decoded YUV has the right size
+        assert recon.stat().st_size == 3 * 64 * 48 * 3 // 2
+
+    def test_encode_missing_frames_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.yuv"
+        empty.write_bytes(b"")
+        rc = main([
+            "encode", str(empty), "--size", "64x48",
+            "--out", str(tmp_path / "x.fevs"),
+        ])
+        assert rc == 1
+
+    def test_bad_size_argument(self):
+        with pytest.raises(SystemExit):
+            main(["encode", "x.yuv", "--size", "64by48", "--out", "o.fevs"])
+
+    def test_trace_export(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--platform", "SysNF", "--frames", "3",
+                   "--out", str(out)])
+        assert rc == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])

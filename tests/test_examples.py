@@ -1,0 +1,69 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+
+    def test_multi_gpu_scaling(self, capsys):
+        run_example("multi_gpu_scaling")
+        out = capsys.readouterr().out
+        assert "SysNFF" in out and "speedup" in out
+
+    def test_adaptive_under_load(self, capsys):
+        run_example("adaptive_under_load")
+        out = capsys.readouterr().out
+        assert "sustained CPU load" in out
+
+    def test_custom_platform(self, capsys):
+        run_example("custom_platform")
+        out = capsys.readouterr().out
+        assert "R* mapped" in out and "utilization" in out
+
+    def test_encode_yuv_file(self, capsys, tmp_path, monkeypatch):
+        from repro.video.generator import moving_objects_sequence
+        from repro.video.yuv import write_yuv420
+
+        src = tmp_path / "in.yuv"
+        write_yuv420(src, moving_objects_sequence(width=96, height=80, count=4))
+        monkeypatch.setattr(
+            sys, "argv", ["encode_yuv_file.py", str(src), "96", "80"]
+        )
+        run_example("encode_yuv_file")
+        out = capsys.readouterr().out
+        assert "partition-mode usage" in out
+
+    def test_streaming_pipeline(self, capsys):
+        run_example("streaming_pipeline")
+        out = capsys.readouterr().out
+        assert "LOST -> concealed" in out
+        assert "scene cut" in out
+
+    @pytest.mark.slow
+    def test_rd_curves(self, capsys):
+        run_example("rd_curves")
+        out = capsys.readouterr().out
+        assert "BD-rate" in out

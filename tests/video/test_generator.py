@@ -1,0 +1,62 @@
+"""Synthetic sequence generation."""
+
+import numpy as np
+import pytest
+
+from repro.video.generator import MovingObject, SyntheticSequence, moving_objects_sequence
+
+
+class TestSyntheticSequence:
+    def test_deterministic(self):
+        a = SyntheticSequence(width=64, height=48, seed=9).frame(3)
+        b = SyntheticSequence(width=64, height=48, seed=9).frame(3)
+        np.testing.assert_array_equal(a.y, b.y)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticSequence(width=64, height=48, seed=1).frame(0)
+        b = SyntheticSequence(width=64, height=48, seed=2).frame(0)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_shapes(self):
+        f = SyntheticSequence(width=128, height=96).frame(0)
+        assert f.y.shape == (96, 128)
+        assert f.u.shape == (48, 64)
+
+    def test_frames_are_temporally_coherent(self):
+        """Consecutive frames differ less than distant frames (motion)."""
+        seq = SyntheticSequence(width=128, height=96, seed=4, noise_sigma=0)
+        f0, f1, f9 = seq.frame(0), seq.frame(1), seq.frame(9)
+        d01 = np.abs(f0.y.astype(int) - f1.y.astype(int)).mean()
+        d09 = np.abs(f0.y.astype(int) - f9.y.astype(int)).mean()
+        assert 0 < d01 < d09
+
+    def test_noise_adds_variation(self):
+        quiet = SyntheticSequence(width=64, height=48, seed=3, noise_sigma=0)
+        noisy = SyntheticSequence(width=64, height=48, seed=3, noise_sigma=5)
+        assert not np.array_equal(quiet.frame(0).y, noisy.frame(0).y)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSequence(width=64, height=48).frame(-1)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SyntheticSequence(width=60, height=48)
+
+    def test_frames_helper(self):
+        frames = SyntheticSequence(width=64, height=48).frames(3, start=2)
+        assert len(frames) == 3
+
+    def test_convenience_function(self):
+        frames = moving_objects_sequence(width=64, height=48, count=2)
+        assert len(frames) == 2
+        assert frames[0].y.shape == (48, 64)
+
+
+class TestMovingObject:
+    def test_texture_shape_and_determinism(self):
+        obj = MovingObject(y0=0, x0=0, height=24, width=32, vy=1, vx=1, seed=5)
+        t1, t2 = obj.texture(), obj.texture()
+        assert t1.shape == (24, 32)
+        np.testing.assert_array_equal(t1, t2)

@@ -1,0 +1,38 @@
+"""Raw YUV 4:2:0 file I/O."""
+
+import numpy as np
+
+from repro.video.generator import moving_objects_sequence
+from repro.video.yuv import frame_bytes, read_yuv420, write_yuv420
+
+
+class TestYuvIO:
+    def test_frame_bytes(self):
+        assert frame_bytes(1920, 1088) == 1920 * 1088 * 3 // 2
+
+    def test_roundtrip(self, tmp_path):
+        frames = moving_objects_sequence(width=64, height=48, count=3, seed=2)
+        path = tmp_path / "clip.yuv"
+        write_yuv420(path, frames)
+        assert path.stat().st_size == 3 * frame_bytes(64, 48)
+        back = read_yuv420(path, 64, 48)
+        assert len(back) == 3
+        for a, b in zip(frames, back):
+            np.testing.assert_array_equal(a.y, b.y)
+            np.testing.assert_array_equal(a.u, b.u)
+            np.testing.assert_array_equal(a.v, b.v)
+
+    def test_count_limits_read(self, tmp_path):
+        frames = moving_objects_sequence(width=64, height=48, count=3, seed=2)
+        path = tmp_path / "clip.yuv"
+        write_yuv420(path, frames)
+        assert len(read_yuv420(path, 64, 48, count=2)) == 2
+        assert len(read_yuv420(path, 64, 48, count=99)) == 3
+
+    def test_partial_trailing_frame_ignored(self, tmp_path):
+        frames = moving_objects_sequence(width=64, height=48, count=1, seed=2)
+        path = tmp_path / "clip.yuv"
+        write_yuv420(path, frames)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00" * 100)  # garbage tail, not a full frame
+        assert len(read_yuv420(path, 64, 48)) == 1
