@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Graceful degradation under device faults.
+
+Encodes 1080p on SysNFF (CPU + two GPUs) while injecting device faults:
+one GPU hangs mid-run and recovers, then permanently drops out. The
+framework surfaces each fault as an event — the frame it strikes absorbs
+a detection stall and host-side redo of the lost bands — then evicts the
+device, re-solves the LP over the survivors on the very next frame, and
+re-admits the hung device once its outage ends.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import CodecConfig, FevesFramework, FrameworkConfig, get_platform
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.report import ascii_series, format_table
+
+
+def main() -> None:
+    cfg = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+    faults = FaultSchedule([
+        FaultEvent(frame=20, device="GPU_F2", kind="hang", duration=8),
+        FaultEvent(frame=45, device="GPU_F2", kind="dropout"),
+    ])
+    fw = FevesFramework(
+        get_platform("SysNFF"), cfg, FrameworkConfig(faults=faults)
+    )
+    fw.run_model(60)
+    times = fw.frame_times_ms()
+
+    print(ascii_series(
+        {"per-frame time": times},
+        hline=40.0,
+        hline_label="real-time (40 ms)",
+        y_label="SysNFF, 1080p — GPU_F2 hangs at frame 20 (8 frames), "
+        "permanently drops out at frame 45",
+        height=16,
+    ))
+
+    rows = []
+    for label, frame in (("3-device steady state", 15),
+                         ("hang strikes", 20),
+                         ("rebalanced on survivors", 22),
+                         ("re-admitted", 29),
+                         ("back to 3 devices", 35),
+                         ("dropout strikes", 45),
+                         ("2-device steady state", 60)):
+        rep = fw.reports[frame - 1]
+        entry = fw.fault_log[frame - 1]
+        rows.append([
+            label,
+            frame,
+            f"{rep.tau_tot * 1e3:.1f}",
+            str(rep.decision.m.rows),
+            ",".join(entry.live),
+        ])
+    print()
+    print(format_table(
+        ["phase", "frame", "ms", "ME rows", "live devices"],
+        rows,
+        title="Fault lifecycle (distribution vector m over GPU_F, GPU_F2, CPU_N)",
+    ))
+
+    # Compare the post-dropout steady state against a framework that never
+    # had the faulty GPU: graceful degradation means they should match.
+    oracle = FevesFramework(get_platform("SysNF"), cfg, FrameworkConfig())
+    oracle.run_model(15)
+    post_fault = fw.reports[-1].tau_tot
+    oracle_t = oracle.reports[-1].tau_tot
+    print(f"\npost-dropout frame time {post_fault * 1e3:.1f} ms vs "
+          f"from-scratch SysNF {oracle_t * 1e3:.1f} ms "
+          f"({abs(post_fault / oracle_t - 1) * 100:.1f}% apart): the eviction "
+          "converges to the oracle schedule for the reduced platform.")
+
+
+if __name__ == "__main__":
+    main()

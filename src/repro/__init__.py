@@ -20,12 +20,15 @@ Public API highlights
 from repro.codec.config import CodecConfig
 from repro.core.config import FrameworkConfig
 from repro.core.framework import FevesFramework
+from repro.hw.noise import FaultEvent, FaultSchedule
 from repro.hw.presets import get_platform, list_platforms
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CodecConfig",
+    "FaultEvent",
+    "FaultSchedule",
     "FrameworkConfig",
     "FevesFramework",
     "get_platform",

@@ -23,6 +23,63 @@ from repro.hw.presets import get_platform, list_platforms
 from repro.report import ascii_series, format_table
 
 
+def _fault_schedule(args: argparse.Namespace):
+    """Build a FaultSchedule from the repeatable --drop/--hang/... flags.
+
+    Formats: ``--drop DEV@FRAME``, ``--hang DEV@FRAME:DURATION``,
+    ``--degrade DEV@FRAME:FACTOR``, ``--copy-fail DEV@FRAME:FACTOR``.
+    """
+    from repro.hw.noise import FaultEvent, FaultSchedule
+
+    def split(spec: str, flag: str, want_param: bool):
+        try:
+            dev, rest = spec.split("@", 1)
+            if want_param:
+                frame, param = rest.split(":", 1)
+                return dev, int(frame), float(param)
+            return dev, int(rest), None
+        except ValueError:
+            raise SystemExit(
+                f"error: bad {flag} spec {spec!r} "
+                f"(expected DEV@FRAME{':PARAM' if want_param else ''})"
+            ) from None
+
+    events = []
+    try:
+        for spec in getattr(args, "drop", None) or []:
+            dev, frame, _ = split(spec, "--drop", False)
+            events.append(FaultEvent(frame=frame, device=dev, kind="dropout"))
+        for spec in getattr(args, "hang", None) or []:
+            dev, frame, dur = split(spec, "--hang", True)
+            events.append(
+                FaultEvent(frame=frame, device=dev, kind="hang", duration=int(dur))
+            )
+        for spec in getattr(args, "degrade", None) or []:
+            dev, frame, factor = split(spec, "--degrade", True)
+            events.append(
+                FaultEvent(frame=frame, device=dev, kind="degrade", factor=factor)
+            )
+        for spec in getattr(args, "copy_fail", None) or []:
+            dev, frame, factor = split(spec, "--copy-fail", True)
+            events.append(
+                FaultEvent(frame=frame, device=dev, kind="copy_fail", factor=factor)
+            )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return FaultSchedule(events)
+
+
+def _add_fault_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--drop", action="append", metavar="DEV@FRAME",
+                     help="permanently drop a device at an inter frame")
+    sub.add_argument("--hang", action="append", metavar="DEV@FRAME:DUR",
+                     help="hang a device for DUR frames, then recover")
+    sub.add_argument("--degrade", action="append", metavar="DEV@FRAME:FACTOR",
+                     help="slow a device's compute by FACTOR from a frame on")
+    sub.add_argument("--copy-fail", action="append", metavar="DEV@FRAME:FACTOR",
+                     help="slow a device's copy engines by FACTOR")
+
+
 def _codec_cfg(args: argparse.Namespace) -> CodecConfig:
     slices = getattr(args, "slices", 1)
     return CodecConfig(
@@ -52,14 +109,20 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = _codec_cfg(args)
-    fw = FevesFramework(
-        get_platform(args.platform),
-        cfg,
-        FrameworkConfig(
-            centric=args.centric,
-            rstar_parallel=getattr(args, "rstar_parallel", False),
-        ),
-    )
+    faults = _fault_schedule(args)
+    try:
+        fw = FevesFramework(
+            get_platform(args.platform),
+            cfg,
+            FrameworkConfig(
+                centric=args.centric,
+                rstar_parallel=getattr(args, "rstar_parallel", False),
+                faults=faults,
+            ),
+        )
+    except KeyError as exc:
+        # unknown device in a fault spec — surface it as a CLI error
+        raise SystemExit(f"error: {exc.args[0]}") from None
     fw.run_model(args.frames)
     times = fw.frame_times_ms()
     print(ascii_series(
@@ -78,6 +141,25 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = [d.name for d in fw.platform.devices]
     print(f"final distributions over {names}:")
     print(f"  ME={last.m.rows}  INT={last.l.rows}  SME={last.s.rows}")
+    if not faults.empty:
+        summary = fw.summary()
+        print(f"live devices at end: {summary['live_devices']}   "
+              f"fault time lost: {summary['fault_time_lost_s'] * 1e3:.1f} ms")
+        for entry in fw.fault_log:
+            if not entry.eventful:
+                continue
+            what = []
+            if entry.evicted:
+                what.append("evicted " + ",".join(entry.evicted))
+            if entry.readmitted:
+                what.append("readmitted " + ",".join(entry.readmitted))
+            print(f"  frame {entry.frame_index}: {'; '.join(what)} "
+                  f"(lost {entry.time_lost_s * 1e3:.1f} ms)")
+    if getattr(args, "fault_log", None):
+        from repro.hw.trace_export import export_fault_log
+
+        n = export_fault_log(fw.fault_log, args.fault_log)
+        print(f"wrote {n} fault-log entries to {args.fault_log}")
     return 0
 
 
@@ -125,9 +207,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.hw.trace_export import export_chrome_trace
 
     cfg = _codec_cfg(args)
-    fw = FevesFramework(get_platform(args.platform), cfg, FrameworkConfig())
+    try:
+        fw = FevesFramework(
+            get_platform(args.platform),
+            cfg,
+            FrameworkConfig(faults=_fault_schedule(args)),
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
     fw.run_model(args.frames)
-    n = export_chrome_trace([r.timeline for r in fw.reports], args.out)
+    n = export_chrome_trace(
+        [r.timeline for r in fw.reports], args.out, fault_log=fw.fault_log
+    )
     print(f"wrote {n} events for {args.frames} frames to {args.out}")
     print("open chrome://tracing (or https://ui.perfetto.dev) and load it")
     return 0
@@ -188,6 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="slices per frame (cross-slice DBL off when >1)")
     run.add_argument("--rstar-parallel", action="store_true",
                      help="distribute R* per slice (needs --slices > 1)")
+    _add_fault_args(run)
+    run.add_argument("--fault-log", metavar="PATH",
+                     help="write the per-frame fault/decision log as JSON")
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="regenerate a Fig. 6 table")
@@ -216,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--refs", type=int, default=1)
     tr.add_argument("--frames", type=int, default=5)
     tr.add_argument("--out", required=True)
+    _add_fault_args(tr)
     tr.set_defaults(func=cmd_trace)
     return ap
 

@@ -62,7 +62,12 @@ class RealContext:
 
 @dataclass
 class FrameReport:
-    """Everything observed while encoding one inter frame."""
+    """Everything observed while encoding one inter frame.
+
+    ``faulted`` names the devices that died *during* this frame; their
+    stall (detection timeout) plus host-side redo work is accounted in
+    ``fault_time_lost_s``.
+    """
 
     frame_index: int
     tau1: float
@@ -73,6 +78,8 @@ class FrameReport:
     rstar_device: str
     transfer_plan: TransferPlan
     encoded: EncodedFrame | None = None
+    faulted: tuple[str, ...] = ()
+    fault_time_lost_s: float = 0.0
 
 
 class VideoCodingManager:
@@ -105,6 +112,10 @@ class VideoCodingManager:
         perf: PerformanceCharacterization,
         ctx: RealContext | None = None,
         probe_rstar: bool = False,
+        live: frozenset[str] | set[str] | None = None,
+        faulted_now: frozenset[str] | set[str] = frozenset(),
+        fault_timeout_s: float = 0.0,
+        fallback_device: str | None = None,
     ) -> FrameReport:
         """Build, simulate and (optionally) really-execute one inter frame.
 
@@ -118,11 +129,42 @@ class VideoCodingManager:
         probe_rstar:
             Issue tiny 1-row R* probe ops on every non-selected device to
             bootstrap the Dijkstra mapping (initialization frame only).
+        live:
+            Devices participating this frame (None = all). Evicted devices
+            have zero rows in ``decision`` already; they also get no probe
+            or R*-slice ops.
+        faulted_now:
+            Devices dying *during* this frame: the decision still assigns
+            them rows, but instead of their kernels a detection stall
+            (category ``"fault"``, ``fault_timeout_s`` long) occupies
+            their compute engine, and their bands are redone on
+            ``fallback_device`` — keyed by the original device index, so
+            the band merge (and the real-mode bitstream) is unchanged.
+        fallback_device:
+            Survivor that redoes the faulted bands; required when
+            ``faulted_now`` is non-empty.
         """
         self.sim.reset()
         cfg = self.codec_cfg
         noise = self.fw_cfg.noise
         devices = self.platform.devices
+        live_set = (
+            frozenset(d.name for d in devices) if live is None else frozenset(live)
+        )
+        faulted = frozenset(faulted_now)
+        live_eff = live_set - faulted
+        if rstar_device not in live_eff:
+            raise ValueError(
+                f"R* device {rstar_device!r} is not a live survivor this frame"
+            )
+        fb_dev = None
+        if faulted:
+            if fallback_device is None or fallback_device not in live_eff:
+                raise ValueError(
+                    "faulted_now requires a live fallback_device, got "
+                    f"{fallback_device!r}"
+                )
+            fb_dev = self.platform.device(fallback_device)
 
         phase1: list[Op] = []
         phase2: list[Op] = []
@@ -130,18 +172,66 @@ class VideoCodingManager:
         int_ops: dict[int, Op] = {}
         sme_ops: dict[int, Op] = {}
         transfer_ops: list[tuple[Op, Any]] = []
+        fault_ops: list[Op] = []  # stalls + redo work (never harvested)
+        redo_sme: list[tuple[int, tuple[int, int], int]] = []
 
         def scale(dev_name: str) -> float:
-            return noise.scale(frame_index, dev_name)
+            # Load noise plus any active compute degradation: both are
+            # *measured* by the characterization, never reported to it.
+            fault = self.platform.device(dev_name).fault_compute_scale
+            return noise.scale(frame_index, dev_name) * fault
 
         # ------------------------- phase 1 ----------------------------------
         rf_ops: dict[str, Op] = {}
         for i, dev in enumerate(devices):
             name = dev.name
+            if name not in live_set:
+                continue
             m_i = decision.m.rows[i]
             l_i = decision.l.rows[i]
             m_band = decision.m.band(i)
             l_band = decision.l.band(i)
+
+            if name in faulted:
+                # The device dies mid-frame: its engine shows only the
+                # watchdog stall, and its phase-1 bands are redone on the
+                # fallback survivor once the fault is detected.
+                assert fb_dev is not None
+                stall = Op(
+                    label=f"FAULT[{name}]",
+                    resource=dev.compute,
+                    duration=fault_timeout_s,
+                    category="fault",
+                )
+                phase1.append(stall)
+                fault_ops.append(stall)
+                if l_i > 0:
+                    redo_int = Op(
+                        label=f"INT-redo[{name}->{fb_dev.name}]",
+                        resource=fb_dev.compute,
+                        duration=fb_dev.spec.rates.int_row_s(cfg)
+                        * l_i
+                        * scale(fb_dev.name),
+                        deps=[stall],
+                        thunk=self._int_thunk(ctx, i, l_band) if ctx else None,
+                    )
+                    phase1.append(redo_int)
+                    fault_ops.append(redo_int)
+                if m_i > 0:
+                    redo_me = Op(
+                        label=f"ME-redo[{name}->{fb_dev.name}]",
+                        resource=fb_dev.compute,
+                        duration=fb_dev.spec.rates.me_row_s(cfg, active_refs)
+                        * m_i
+                        * scale(fb_dev.name),
+                        deps=[stall],
+                        thunk=self._me_thunk(ctx, i, m_band) if ctx else None,
+                    )
+                    phase1.append(redo_me)
+                    fault_ops.append(redo_me)
+                if decision.s.rows[i] > 0:
+                    redo_sme.append((i, decision.s.band(i), decision.s.rows[i]))
+                continue
 
             cf_me_op: Op | None = None
             if dev.is_accelerator:
@@ -213,8 +303,21 @@ class VideoCodingManager:
         )
 
         # ------------------------- phase 2 ----------------------------------
+        assert fb_dev is not None or not redo_sme
+        for i, s_band, s_i in redo_sme:
+            redo_op = Op(
+                label=f"SME-redo[{devices[i].name}->{fb_dev.name}]",
+                resource=fb_dev.compute,
+                duration=fb_dev.spec.rates.sme_row_s(cfg) * s_i * scale(fb_dev.name),
+                deps=[tau1_op],
+                thunk=self._sme_thunk(ctx, i, s_band) if ctx else None,
+            )
+            phase2.append(redo_op)
+            fault_ops.append(redo_op)
         for i, dev in enumerate(devices):
             name = dev.name
+            if name not in live_eff:
+                continue
             s_i = decision.s.rows[i]
             s_band = decision.s.band(i)
             in_ops: list[Op] = [tau1_op]
@@ -269,7 +372,7 @@ class VideoCodingManager:
         # ------------------------- phase 3 ----------------------------------
         if self._rstar_parallel_possible(ctx):
             tail_ops, rstar_like_ops = self._build_parallel_rstar(
-                decision, rstar_device, tau2_op, transfer_ops, scale
+                decision, rstar_device, tau2_op, transfer_ops, scale, live_eff
             )
             probe_ops = {}
             records = self.sim.run(
@@ -292,6 +395,8 @@ class VideoCodingManager:
                 tau_tot=tau_tot, timeline=timeline, decision=decision,
                 rstar_device=rstar_device, transfer_plan=plan,
                 encoded=ctx.encoded if ctx else None,
+                faulted=tuple(sorted(faulted)),
+                fault_time_lost_s=sum(op.duration for op in fault_ops),
             )
 
         rstar_dev = self.platform.device(rstar_device)
@@ -348,7 +453,7 @@ class VideoCodingManager:
         probe_ops: dict[str, Op] = {}
         if probe_rstar:
             for dev in devices:
-                if dev.name == rstar_device:
+                if dev.name == rstar_device or dev.name not in live_eff:
                     continue
                 probe_ops[dev.name] = Op(
                     label=f"R*probe[{dev.name}]",
@@ -403,6 +508,8 @@ class VideoCodingManager:
             rstar_device=rstar_device,
             transfer_plan=plan,
             encoded=ctx.encoded if ctx else None,
+            faulted=tuple(sorted(faulted)),
+            fault_time_lost_s=sum(op.duration for op in fault_ops),
         )
 
     def _rstar_parallel_possible(self, ctx) -> bool:
@@ -416,7 +523,7 @@ class VideoCodingManager:
         )
 
     def _build_parallel_rstar(
-        self, decision, rstar_device, tau2_op, transfer_ops, scale
+        self, decision, rstar_device, tau2_op, transfer_ops, scale, live_eff
     ):
         """Distribute the R* block per-slice across the devices.
 
@@ -437,7 +544,7 @@ class VideoCodingManager:
         # Fastest-first assignment: slices round-robin over devices sorted
         # by R* speed (rate-model order is stable and known to the DES).
         order = sorted(
-            range(len(devices)),
+            (i for i in range(len(devices)) if devices[i].name in live_eff),
             key=lambda i: devices[i].spec.rates.rstar_row_s(cfg),
         )
         assignment: dict[int, list[tuple[int, int]]] = {}

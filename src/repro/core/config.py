@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.hw.noise import NoiseModel
+from repro.hw.noise import FaultSchedule, NoiseModel
 from repro.util.validation import check_range
 
 #: Execution modes: ``"model"`` advances only simulated time (benchmarks);
@@ -68,6 +68,19 @@ class FrameworkConfig:
         ``deblock_across_slices=False`` in the codec config — the slice
         configuration that makes DBL parallel). Quantifies the alternative
         the paper rejected in favour of single-device R*.
+    faults:
+        Device-fault injection plan (dropout / hang / degrade / copy_fail
+        events; see :class:`~repro.hw.noise.FaultSchedule`). Empty by
+        default. Event device names are validated against the platform
+        when the framework is constructed.
+    fault_detection_timeout_s:
+        Simulated watchdog time charged on the frame a dropout/hang is
+        detected: the fault frame stalls this long before the faulted
+        device's bands are redone on a survivor.
+    warmup_rows:
+        MB rows per module granted to a re-admitted device whose
+        characterization was cleared, so it re-measures online without
+        the LP having to gamble on unknown speeds.
     """
 
     compute: str = "model"
@@ -82,6 +95,9 @@ class FrameworkConfig:
     parallel_workers: int = 0
     enable_parking: bool = True
     rstar_parallel: bool = False
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    fault_detection_timeout_s: float = 0.040
+    warmup_rows: int = 2
 
     def __post_init__(self) -> None:
         if self.compute not in COMPUTE_MODES:
@@ -101,3 +117,7 @@ class FrameworkConfig:
         check_range("min_rows_per_device", self.min_rows_per_device, 0, 8)
         check_range("lb_cache_rtol", self.lb_cache_rtol, 0.0, 0.5)
         check_range("parallel_workers", self.parallel_workers, 0, 64)
+        check_range(
+            "fault_detection_timeout_s", self.fault_detection_timeout_s, 0.0, 10.0
+        )
+        check_range("warmup_rows", self.warmup_rows, 1, 16)

@@ -105,8 +105,18 @@ class DataAccessManager:
             if d.is_accelerator
         }
 
-    def plan(self, decision: LoadDecision, rstar_device: str) -> TransferPlan:
-        """Build the transfer plan of one frame from the load decision."""
+    def plan(
+        self,
+        decision: LoadDecision,
+        rstar_device: str,
+        live: frozenset[str] | set[str] | None = None,
+    ) -> TransferPlan:
+        """Build the transfer plan of one frame from the load decision.
+
+        ``live`` (None = all) drops every transfer to/from devices outside
+        it — used on the frame a fault strikes, when the decision still
+        assigns the faulted device rows but its link is gone.
+        """
         plan = TransferPlan()
         sizes = self.sizes
         n = decision.m.total
@@ -131,6 +141,8 @@ class DataAccessManager:
             if not dev.is_accelerator:
                 continue
             name = dev.name
+            if live is not None and name not in live:
+                continue
             m_i = decision.m.rows[i]
             l_i = decision.l.rows[i]
             s_i = decision.s.rows[i]
@@ -190,14 +202,43 @@ class DataAccessManager:
         for name in self.sigma_r_rows:
             self.sigma_r_rows[name] = 0
 
-    def commit(self, decision: LoadDecision, rstar_device: str) -> None:
-        """Advance cross-frame state after the frame executed."""
+    def evict(self, name: str) -> None:
+        """Drop a faulted device from the cross-frame buffer state.
+
+        Its SF mirror is treated as gone (parked ⇒ full refetch on
+        re-admission) and, if it held the newest RF, the holder resets —
+        the host always keeps a copy (RF streams d2h every frame), so
+        survivors simply refetch over their own links.
+        """
+        dev = self.platform.device(name)
+        if not dev.is_accelerator:
+            return
+        self.parked.add(name)
+        self.sigma_r_rows[name] = 0
+        if self.rf_holder == name:
+            self.rf_holder = None
+
+    def commit(
+        self,
+        decision: LoadDecision,
+        rstar_device: str,
+        live: frozenset[str] | set[str] | None = None,
+    ) -> None:
+        """Advance cross-frame state after the frame executed.
+
+        Devices outside ``live`` are treated as parked (stale mirrors),
+        exactly like :meth:`evict`.
+        """
         rstar_is_accel = self.platform.device(rstar_device).is_accelerator
         self.rf_holder = rstar_device if rstar_is_accel else None
         for i, dev in enumerate(self.platform.devices):
             if not dev.is_accelerator:
                 continue
             name = dev.name
+            if live is not None and name not in live:
+                self.parked.add(name)
+                self.sigma_r_rows[name] = 0
+                continue
             if self.enable_parking and not (
                 self._has_work(decision, i) or name == rstar_device
             ):

@@ -64,11 +64,30 @@ class Distribution:
 
 def round_preserving_sum(fractions: np.ndarray, total: int) -> tuple[int, ...]:
     """Largest-remainder rounding of non-negative reals to integers summing
-    to ``total`` (converts the LP's continuous solution to whole MB rows)."""
-    frac = np.asarray(fractions, dtype=np.float64)
-    if (frac < -1e-9).any():
+    to ``total`` (converts the LP's continuous solution to whole MB rows).
+
+    Degenerate inputs are handled rather than rejected: LP outputs may be
+    negative within the solver's feasibility tolerance (~1e-7 for HiGHS,
+    looser than a naive zero check), so values above ``-1e-6`` are clamped
+    to zero and only genuinely negative inputs raise. A zero-sum vector
+    (all devices idle, or ``total == 0``) falls back to an equidistant
+    split, a single entry gets everything, and remainder ties break toward
+    the lower device index deterministically.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    frac = np.atleast_1d(np.asarray(fractions, dtype=np.float64))
+    if frac.size == 0:
+        if total != 0:
+            raise ValueError(f"cannot distribute {total} rows over zero devices")
+        return ()
+    if (frac < -1e-6).any():
         raise ValueError(f"negative fractions: {frac}")
     frac = np.clip(frac, 0.0, None)
+    if total == 0:
+        return (0,) * len(frac)
+    if len(frac) == 1:
+        return (total,)
     s = frac.sum()
     if s == 0:
         return tuple(Distribution.equidistant(total, len(frac)).rows)
@@ -77,8 +96,12 @@ def round_preserving_sum(fractions: np.ndarray, total: int) -> tuple[int, ...]:
     if not np.isfinite(frac).all():  # guard subnormal inputs overflowing
         return tuple(Distribution.equidistant(total, len(frac)).rows)
     floor = np.floor(frac).astype(int)
-    short = total - int(floor.sum())
-    order = np.argsort(-(frac - floor))
+    # Float error can make the scaled sum land a hair above ``total``;
+    # floors then already cover it and there is nothing left to hand out.
+    short = max(0, total - int(floor.sum()))
+    # Stable sort: equal remainders go to the lower device index, keeping
+    # the rounded vector deterministic across numpy versions.
+    order = np.argsort(-(frac - floor), kind="stable")
     out = floor.copy()
     for k in range(short):
         out[order[k % len(out)]] += 1

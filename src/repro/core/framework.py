@@ -34,7 +34,7 @@ from repro.core.config import FrameworkConfig
 from repro.core.data_access import DataAccessManager, TransferPlan
 from repro.core.distribution import Distribution
 from repro.core.load_balancing import LoadDecision
-from repro.hw.timeline import FrameTimeline
+from repro.hw.timeline import FaultLogEntry, FrameTimeline
 from repro.core.load_balancing import LoadBalancer
 from repro.core.perf_model import PerformanceCharacterization
 from repro.core.rstar import select_rstar_device
@@ -82,6 +82,13 @@ class FevesFramework:
             platform, sizes, enable_parking=self.fw_cfg.enable_parking
         )
 
+        # Fault model: validate the schedule against real device names and
+        # start with every device live.
+        for name in self.fw_cfg.faults.devices():
+            platform.device(name)  # raises on unknown device
+        self._live: dict[str, bool] = {d.name: True for d in platform.devices}
+        self.fault_log: list[FaultLogEntry] = []
+
         self._inter_frames_done = 0
         self._frames_since_intra = 0
         self._rstar_device = self._initial_rstar_device()
@@ -110,18 +117,56 @@ class FevesFramework:
         return self._rstar_device
 
     def _maybe_reselect_rstar(self) -> None:
-        """After initialization, map R* with the Dijkstra routine (auto)."""
+        """After init (or a live-set change), map R* via Dijkstra (auto).
+
+        Only live devices compete: an evicted device keeps its last R*
+        estimate as a prior, but it cannot host the block.
+        """
         if self.fw_cfg.centric != "auto":
             return
         estimates = {
             d.name: t
             for d in self.platform.devices
-            if (t := self.perf.rstar_frame_s(d.name)) is not None
+            if self._live.get(d.name, True)
+            and (t := self.perf.rstar_frame_s(d.name)) is not None
         }
         if len(estimates) < 2:
             return
         decision = select_rstar_device(self.platform, estimates, self.codec_cfg)
         self._rstar_device = decision.device
+
+    def _rstar_fallback(self, survivors: frozenset[str]) -> str:
+        """R* placement when the selected device died.
+
+        Survival overrides a forced centric policy: the Dijkstra mapping
+        re-runs over characterized survivors; with fewer than two
+        estimates the fastest (or only) measured survivor wins, and with
+        no measurements at all the CPU — else the first surviving device —
+        takes the block.
+        """
+        estimates = {
+            name: t
+            for name in survivors
+            if (t := self.perf.rstar_frame_s(name)) is not None
+        }
+        if len(estimates) >= 2:
+            return select_rstar_device(
+                self.platform, estimates, self.codec_cfg
+            ).device
+        if estimates:
+            return min(estimates, key=lambda k: estimates[k])
+        cpu = self.platform.cpu
+        if cpu is not None and cpu.name in survivors:
+            return cpu.name
+        return next(d.name for d in self.platform.devices if d.name in survivors)
+
+    def _fault_fallback(self, survivors: frozenset[str]) -> str:
+        """Survivor that redoes a dying device's bands (CPU preferred —
+        the data is already in host memory)."""
+        cpu = self.platform.cpu
+        if cpu is not None and cpu.name in survivors:
+            return cpu.name
+        return next(d.name for d in self.platform.devices if d.name in survivors)
 
     # ------------------------- model mode ------------------------------------
 
@@ -196,26 +241,66 @@ class FevesFramework:
         idx = self._inter_frames_done
         is_init = idx == 1
         n_devices = len(self.platform.devices)
-        names = [d.name for d in self.platform.devices]
-        accel = [d.name for d in self.platform.devices if d.is_accelerator]
+        faults = self.fw_cfg.faults
+        reasons: list[tuple[str, str]] = []
+
+        # --- fault lifecycle (before planning) ---------------------------
+        # Re-admit devices whose outage window ended: their demoted priors
+        # (or a warm-up grant, if characterization was cleared) bring them
+        # back into the LP this very frame.
+        readmitted: list[str] = []
+        for name, alive in self._live.items():
+            if not alive and faults.down(idx, name) is None:
+                self._live[name] = True
+                readmitted.append(name)
+                reasons.append((name, "outage ended; re-admitted"))
+        live = frozenset(n for n, a in self._live.items() if a)
+        # Devices dying *during* this frame: planning still counts them
+        # (the fault is only discovered at execution), but their transfers
+        # are skipped and their bands redone on a survivor.
+        newly_down = frozenset(
+            n for n in live if faults.down(idx, n) is not None
+        )
+        survivors = live - newly_down
+        if not survivors:
+            raise RuntimeError(
+                f"all devices faulted at inter frame {idx}; cannot continue"
+            )
+        if readmitted:
+            self._maybe_reselect_rstar()
+        if self._rstar_device not in survivors:
+            old = self._rstar_device
+            self._rstar_device = self._rstar_fallback(survivors)
+            reasons.append((old, f"R* host down; moved to {self._rstar_device}"))
 
         # Active references ramp up at the start of each GOP (Fig. 7(b)).
         self._frames_since_intra += 1
         active_refs = min(self._frames_since_intra, self.codec_cfg.num_ref_frames)
 
         # Algorithm 1 line 3 / line 8 (the <2 ms scheduling overhead the
-        # paper reports is exactly the work timed here).
+        # paper reports is exactly the work timed here). The balancer
+        # falls back to an equidistant split over the live set until every
+        # live device is characterized.
         with self.lb_timer:
-            if is_init or not self.perf.ready_for_lp(names, accel):
-                decision = self.balancer.equidistant()
+            if is_init:
+                decision = self.balancer.equidistant(live=live)
             else:
                 decision = self.balancer.solve(
                     perf=self.perf,
                     rstar_device=self._rstar_device,
                     needs_rf=self.dam.needs_rf(),
                     sigma_r_prev=dict(self.dam.sigma_r_rows),
+                    live=live,
                 )
-            plan = self.dam.plan(decision, self._rstar_device)
+            plan = self.dam.plan(decision, self._rstar_device, live=survivors)
+
+        # Degradation faults enter as genuine slowdowns, never as events:
+        # the characterization measures them like any other load change.
+        for dev in self.platform.devices:
+            dev.set_fault_scales(
+                compute=faults.compute_factor(idx, dev.name),
+                copy=faults.copy_factor(idx, dev.name),
+            )
 
         ctx = self._build_ctx(cur, idx) if cur is not None else None
         report = self.manager.run_frame(
@@ -227,8 +312,14 @@ class FevesFramework:
             perf=self.perf,
             ctx=ctx,
             probe_rstar=is_init and n_devices > 1,
+            live=live,
+            faulted_now=newly_down,
+            fault_timeout_s=self.fw_cfg.fault_detection_timeout_s,
+            fallback_device=(
+                self._fault_fallback(survivors) if newly_down else None
+            ),
         )
-        self.dam.commit(decision, self._rstar_device)
+        self.dam.commit(decision, self._rstar_device, live=survivors)
         if (
             self.fw_cfg.rstar_parallel
             and self.codec_cfg.num_slices > 1
@@ -237,8 +328,36 @@ class FevesFramework:
             # Parallel R*: the new RF is reassembled on the host, so no
             # single accelerator holds it.
             self.dam.rf_holder = None
+
+        # --- fault lifecycle (after execution) ---------------------------
+        for name in sorted(newly_down):
+            ev = faults.down(idx, name)
+            assert ev is not None
+            self._live[name] = False
+            # A hang keeps the pre-fault estimates as priors (one-frame
+            # re-warm on re-admission); clear_characterization forgets the
+            # device so it must re-probe through warm-up rows.
+            self.perf.invalidate(name, keep_prior=not ev.clear_characterization)
+            self.dam.evict(name)
+            why = f"{ev.kind} at frame {ev.frame}"
+            if ev.duration:
+                why += f" for {ev.duration} frames"
+            reasons.append((name, why))
         if is_init:
             self._maybe_reselect_rstar()
+
+        self.fault_log.append(
+            FaultLogEntry(
+                frame_index=idx,
+                live=tuple(sorted(live)),
+                evicted=tuple(sorted(newly_down)),
+                readmitted=tuple(readmitted),
+                reasons=tuple(reasons),
+                time_lost_s=report.fault_time_lost_s,
+                used_lp=decision.used_lp,
+                rstar_device=self._rstar_device,
+            )
+        )
 
         if ctx is not None and ctx.encoded is not None:
             assert ctx.sf_new is not None
@@ -301,6 +420,9 @@ class FevesFramework:
             "steady_fps": fps,
             "realtime": fps >= 25.0,
             "rstar_device": self._rstar_device,
+            "live_devices": sorted(n for n, a in self._live.items() if a),
+            "fault_events": sum(1 for e in self.fault_log if e.eventful),
+            "fault_time_lost_s": sum(e.time_lost_s for e in self.fault_log),
             "lb_overhead_ms": self.scheduling_overhead_ms,
             "distribution": {
                 "devices": names,

@@ -80,11 +80,22 @@ class LoadBalancer:
 
     # --- public API ----------------------------------------------------------
 
-    def equidistant(self) -> LoadDecision:
-        """Initialization-phase decision (Algorithm 1, line 3)."""
+    def equidistant(self, live: frozenset[str] | set[str] | None = None) -> LoadDecision:
+        """Initialization-phase decision (Algorithm 1, line 3).
+
+        ``live`` restricts the split to the surviving devices — evicted
+        ones get zero rows; ``None`` means every platform device.
+        """
         n = self.codec_cfg.mb_rows
-        d = len(self.platform.devices)
-        dist = Distribution.equidistant(n, d)
+        devices = self.platform.devices
+        idx = [i for i, dev in enumerate(devices) if live is None or dev.name in live]
+        if not idx:
+            raise ValueError("no live devices to distribute over")
+        per = Distribution.equidistant(n, len(idx))
+        rows = [0] * len(devices)
+        for k, i in enumerate(idx):
+            rows[i] = per.rows[k]
+        dist = Distribution(rows=tuple(rows), total=n)
         return self._finalize(dist, dist, dist, tau=(0.0, 0.0, 0.0), used_lp=False)
 
     def solve(
@@ -93,13 +104,14 @@ class LoadBalancer:
         rstar_device: str,
         needs_rf: dict[str, bool],
         sigma_r_prev: dict[str, int],
+        live: frozenset[str] | set[str] | None = None,
     ) -> LoadDecision:
         """Iterative-phase decision (Algorithm 1, line 8).
 
         Parameters
         ----------
         perf:
-            Current characterization; must be :meth:`ready_for_lp`.
+            Current characterization.
         rstar_device:
             Device selected for the R* block this frame.
         needs_rf:
@@ -108,16 +120,39 @@ class LoadBalancer:
         sigma_r_prev:
             Per accelerator: SF rows deferred from the previous frame
             (σʳ⁻¹ in Algorithm 2), transferred during this frame's τ1.
+        live:
+            Names of devices allowed work this frame (None = all).
+            Evicted devices get zero rows everywhere. Live devices that
+            are not yet characterized — start-up, or re-admitted after a
+            fault cleared their measurements — are *warming*: the LP
+            plans over the measured survivors only, and each warming
+            device is granted ``fw_cfg.warmup_rows`` rows per module so
+            it re-characterizes without risking the frame time.
         """
         devices = self.platform.devices
-        names = [d.name for d in devices]
-        accel = [d.name for d in devices if d.is_accelerator]
-        if not perf.ready_for_lp(names, accel):
-            return self.equidistant()
-        if len(devices) == 1:
-            n = self.codec_cfg.mb_rows
-            dist = Distribution.single_device(n, 1, 0)
-            return self._finalize(dist, dist, dist, (0, 0, 0), used_lp=False)
+        live_set = frozenset(
+            dev.name for dev in devices if live is None or dev.name in live
+        )
+        if not live_set:
+            raise ValueError("no live devices to distribute over")
+        live_idx = [i for i, dev in enumerate(devices) if dev.name in live_set]
+        ready_idx = [i for i in live_idx if self._characterized(perf, devices[i])]
+        warming_idx = [i for i in live_idx if i not in ready_idx]
+        if not ready_idx:
+            return self.equidistant(live=live_set)
+        n = self.codec_cfg.mb_rows
+        d = len(devices)
+        if len(ready_idx) == 1:
+            # Degenerate survivor set: no LP needed, everything runs on the
+            # one characterized device (minus warm-up grants for any device
+            # currently re-characterizing).
+            dist = Distribution.single_device(n, d, ready_idx[0])
+            m, l, s = self._grant_warmup(dist, dist, dist, warming_idx)
+            return self._finalize(m, l, s, (0, 0, 0), used_lp=False)
+
+        dead = frozenset(i for i in range(d) if i not in ready_idx)
+        names = [devices[i].name for i in ready_idx]
+        accel = [devices[i].name for i in ready_idx if devices[i].is_accelerator]
 
         # Decision cache: if no measured K moved beyond the tolerance and
         # the discrete inputs are identical, the previous decision is still
@@ -126,6 +161,8 @@ class LoadBalancer:
         ks = self._k_vector(perf, names, accel)
         key = (
             rstar_device,
+            live_set,
+            tuple(names),
             tuple(sorted(needs_rf.items())),
             tuple(sorted(sigma_r_prev.items())),
         )
@@ -147,8 +184,8 @@ class LoadBalancer:
         # accelerators (non-R* GPUs) and keep the best steady-state τtot.
         parkable = [
             i
-            for i, dev in enumerate(devices)
-            if dev.is_accelerator and dev.name != rstar_device
+            for i in ready_idx
+            if devices[i].is_accelerator and devices[i].name != rstar_device
         ]
         if not self.fw_cfg.enable_parking:
             parkable = []
@@ -165,7 +202,7 @@ class LoadBalancer:
         best = None
         for parked in subsets:
             result = self._solve_with_fixed_point(
-                perf, rstar_device, needs_rf, sigma_r_prev, parked
+                perf, rstar_device, needs_rf, sigma_r_prev, parked | dead
             )
             if result is None:
                 continue
@@ -173,16 +210,62 @@ class LoadBalancer:
             if best is None or taus[2] < best[3][2]:
                 best = (m, l, s, taus)
         if best is None:
-            return self._heuristic(perf)
+            return self._heuristic(perf, ready_idx, warming_idx)
         m, l, s, taus = best
+        self._seed = (m, l, s)
+        m, l, s = self._grant_warmup(m, l, s, warming_idx)
         decision = self._finalize(
             m, l, s, taus, used_lp=True, perf=perf, rstar_device=rstar_device
         )
-        self._seed = (m, l, s)
         self._cache_ks = ks
         self._cache_key = key
         self._cache_decision = decision
         return decision
+
+    def _characterized(self, perf: PerformanceCharacterization, dev) -> bool:
+        """Does the LP have every K it needs for this device?"""
+        if any(
+            perf.k_compute(dev.name, module) is None
+            for module in ("me", "int", "sme")
+        ):
+            return False
+        if dev.is_accelerator and (
+            perf.bandwidth(dev.name, "h2d") is None
+            or perf.bandwidth(dev.name, "d2h") is None
+        ):
+            return False
+        return True
+
+    def _grant_warmup(
+        self,
+        m: Distribution,
+        l: Distribution,  # noqa: E741
+        s: Distribution,
+        warming_idx: list[int],
+    ) -> tuple[Distribution, Distribution, Distribution]:
+        """Carve warm-up rows for re-characterizing devices.
+
+        Each warming device takes ``fw_cfg.warmup_rows`` rows per module
+        from whichever device currently holds the most — a deliberate tiny
+        probe workload (paper's initialization measurements, re-run online)
+        that yields fresh K values next frame while bounding the damage a
+        still-unknown device can do to τtot.
+        """
+        want = self.fw_cfg.warmup_rows
+        if not warming_idx or want <= 0:
+            return m, l, s
+        out = []
+        for dist in (m, l, s):
+            rows = list(dist.rows)
+            for w in warming_idx:
+                donor = max(range(len(rows)), key=lambda i: rows[i])
+                grant = min(want, rows[donor] - 1)
+                if grant <= 0:
+                    continue
+                rows[donor] -= grant
+                rows[w] += grant
+            out.append(Distribution(rows=tuple(rows), total=dist.total))
+        return out[0], out[1], out[2]
 
     def _solve_with_fixed_point(
         self,
@@ -243,22 +326,36 @@ class LoadBalancer:
             vals.append(perf.bandwidth(name, "d2h") or 0.0)
         return np.array(vals)
 
-    def _heuristic(self, perf: PerformanceCharacterization) -> LoadDecision:
-        """Speed-proportional fallback when the LP is infeasible."""
+    def _heuristic(
+        self,
+        perf: PerformanceCharacterization,
+        active_idx: list[int] | None = None,
+        warming_idx: list[int] | None = None,
+    ) -> LoadDecision:
+        """Speed-proportional fallback when the LP is infeasible.
+
+        Only ``active_idx`` devices receive speed-proportional shares
+        (None = all); warming devices get their warm-up grants on top.
+        """
         n = self.codec_cfg.mb_rows
         devices = self.platform.devices
+        if active_idx is None:
+            active_idx = list(range(len(devices)))
         dists = []
         for module in ("me", "int", "sme"):
-            ks = np.array(
-                [perf.k_compute(dev.name, module) or 1.0 for dev in devices]
-            )
-            speed = 1.0 / np.maximum(ks, 1e-12)
+            speed = np.zeros(len(devices))
+            for i in active_idx:
+                k = perf.k_compute(devices[i].name, module) or 1.0
+                speed[i] = 1.0 / max(k, 1e-12)
             dists.append(
                 Distribution(
                     rows=round_preserving_sum(speed, n), total=n
                 )
             )
-        return self._finalize(dists[0], dists[1], dists[2], (0, 0, 0), used_lp=False)
+        m, l, s = self._grant_warmup(
+            dists[0], dists[1], dists[2], warming_idx or []
+        )
+        return self._finalize(m, l, s, (0, 0, 0), used_lp=False)
 
     def _finalize(
         self,
@@ -295,11 +392,19 @@ class LoadBalancer:
                 # Data Access Manager charges a full refetch if the device
                 # is reactivated later.
                 continue
-            budget = self.codec_cfg.mb_rows
-            if perf is not None and tau_tot > tau2:
-                k_sf = perf.k_transfer(dev.name, "sf", "h2d", self.sizes)
-                if k_sf and k_sf > 0:
-                    budget = int((tau_tot - tau2) / k_sf)
+            if perf is not None:
+                # LP path: σ must fit the *predicted* τ2..τtot window. When
+                # the prediction leaves no window (τtot ≤ τ2 happens when
+                # R* collapses into τ2's slack) nothing can be caught up
+                # this frame — defer everything to σʳ rather than sizing σ
+                # from a non-positive budget.
+                budget = 0
+                if tau_tot > tau2:
+                    k_sf = perf.k_transfer(dev.name, "sf", "h2d", self.sizes)
+                    if k_sf and k_sf > 0:
+                        budget = max(0, int((tau_tot - tau2) / k_sf))
+            else:
+                budget = self.codec_cfg.mb_rows
             sg, rem = sf_remainder_segments(l, s, i, self.halo, budget)
             sigma[dev.name] = sg
             sigma_r[dev.name] = rem

@@ -43,11 +43,17 @@ def buffer_row_bytes(buf: str, sizes: BufferSizes) -> int:
 
 @dataclass
 class _DeviceState:
-    """Mutable characterization of one device."""
+    """Mutable characterization of one device.
+
+    ``priors`` holds the keys (module names, ``"rstar"``, directions)
+    whose current value is a *prior* — a calibration estimate or a stale
+    pre-fault measurement — rather than a fresh online observation.
+    """
 
     k_compute: dict[str, float] = field(default_factory=dict)  # module -> s/row
     rstar_frame_s: float | None = None
     bw: dict[str, float] = field(default_factory=dict)  # "h2d"/"d2h" -> B/s
+    priors: set[str] = field(default_factory=set)
 
 
 class PerformanceCharacterization:
@@ -58,6 +64,17 @@ class PerformanceCharacterization:
     alpha:
         Weight of the newest observation (1.0 = last frame wins, giving the
         paper's one-frame recovery after load spikes).
+
+    Priors vs observations
+    ----------------------
+    Estimates marked as *priors* — seeded from calibration
+    (``prior=True``) or demoted by :meth:`invalidate` after a device
+    fault — keep the LP solvable but carry no online evidence. The first
+    real observation for a prior-valued key therefore **replaces** the
+    estimate outright instead of blending at the steady-state ``alpha``:
+    with a smoothed characterization (``alpha`` < 1), blending against a
+    stale prior would stretch Fig. 7's one-frame absorption over many
+    frames.
     """
 
     def __init__(self, alpha: float = 1.0) -> None:
@@ -69,35 +86,54 @@ class PerformanceCharacterization:
     def _state(self, device: str) -> _DeviceState:
         return self._devices.setdefault(device, _DeviceState())
 
-    def _blend(self, old: float | None, new: float) -> float:
-        if old is None:
+    def _blend(self, st: _DeviceState, key: str, old: float | None, new: float) -> float:
+        if old is None or key in st.priors:
+            # First (or first-after-fault) observation seeds outright.
+            st.priors.discard(key)
             return new
         return self.alpha * new + (1.0 - self.alpha) * old
 
     # --- observations -------------------------------------------------------
 
     def observe_compute(
-        self, device: str, module: str, rows: int, seconds: float
+        self, device: str, module: str, rows: int, seconds: float,
+        prior: bool = False,
     ) -> None:
-        """Record a compute op: ``rows`` MB rows of ``module`` in ``seconds``."""
+        """Record a compute op: ``rows`` MB rows of ``module`` in ``seconds``.
+
+        ``prior=True`` installs a calibration estimate: it only fills a
+        gap (never overrides online data) and is replaced outright by the
+        first real observation.
+        """
         if module not in COMPUTE_MODULES:
             raise ValueError(f"unknown module {module!r}")
         if rows <= 0 or seconds < 0:
             return
         st = self._state(device)
+        if prior:
+            if module not in st.k_compute:
+                st.k_compute[module] = seconds / rows
+                st.priors.add(module)
+            return
         st.k_compute[module] = self._blend(
-            st.k_compute.get(module), seconds / rows
+            st, module, st.k_compute.get(module), seconds / rows
         )
 
-    def observe_rstar(self, device: str, seconds: float) -> None:
-        """Record a full R* block execution."""
+    def observe_rstar(self, device: str, seconds: float, prior: bool = False) -> None:
+        """Record a full R* block execution (``prior`` as in observe_compute)."""
         if seconds < 0:
             return
         st = self._state(device)
-        st.rstar_frame_s = self._blend(st.rstar_frame_s, seconds)
+        if prior:
+            if st.rstar_frame_s is None:
+                st.rstar_frame_s = seconds
+                st.priors.add("rstar")
+            return
+        st.rstar_frame_s = self._blend(st, "rstar", st.rstar_frame_s, seconds)
 
     def observe_transfer(
-        self, device: str, direction: str, nbytes: float, seconds: float
+        self, device: str, direction: str, nbytes: float, seconds: float,
+        prior: bool = False,
     ) -> None:
         """Record one transfer; updates the directional bandwidth estimate."""
         if direction not in ("h2d", "d2h"):
@@ -105,7 +141,42 @@ class PerformanceCharacterization:
         if nbytes <= 0 or seconds <= 0:
             return
         st = self._state(device)
-        st.bw[direction] = self._blend(st.bw.get(direction), nbytes / seconds)
+        if prior:
+            if direction not in st.bw:
+                st.bw[direction] = nbytes / seconds
+                st.priors.add(direction)
+            return
+        st.bw[direction] = self._blend(
+            st, direction, st.bw.get(direction), nbytes / seconds
+        )
+
+    # --- fault bookkeeping --------------------------------------------------
+
+    def invalidate(self, device: str, keep_prior: bool = True) -> None:
+        """React to a device fault.
+
+        ``keep_prior=True`` (hang/transient outage): demote every current
+        estimate to a prior — the LP can still plan with the pre-fault
+        numbers on re-admission, and the first post-recovery observation
+        replaces them outright. ``keep_prior=False`` (dropout, or a device
+        that rebooted): forget the device entirely; it must be re-probed
+        before the LP will schedule it again.
+        """
+        st = self._devices.get(device)
+        if st is None:
+            return
+        if not keep_prior:
+            del self._devices[device]
+            return
+        st.priors.update(st.k_compute.keys())
+        st.priors.update(st.bw.keys())
+        if st.rstar_frame_s is not None:
+            st.priors.add("rstar")
+
+    def is_prior(self, device: str, key: str) -> bool:
+        """Whether the estimate under ``key`` is a prior (test/log helper)."""
+        st = self._devices.get(device)
+        return st is not None and key in st.priors
 
     # --- queries ------------------------------------------------------------
 

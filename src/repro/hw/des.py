@@ -52,7 +52,14 @@ class Op:
         when the op is evaluated, with the op itself as argument. Its
         return value is stored in :attr:`result`.
     category:
-        Coarse tag (``"compute"`` / ``"h2d"`` / ``"d2h"``) for reporting.
+        Coarse tag (``"compute"`` / ``"h2d"`` / ``"d2h"`` / ``"fault"``)
+        for reporting. ``"fault"`` marks stall intervals injected when a
+        device dies mid-frame (watchdog/detection time).
+    fail_ok:
+        When True, an exception raised by the thunk is captured in
+        :attr:`error` instead of aborting the whole schedule — the fault
+        surfaces as an op-level event and downstream recovery ops still
+        run. When False (default) thunk exceptions propagate.
     """
 
     label: str
@@ -61,9 +68,11 @@ class Op:
     deps: list["Op"] = field(default_factory=list)
     thunk: Callable[["Op"], Any] | None = None
     category: str = "compute"
+    fail_ok: bool = False
     start: float | None = None
     end: float | None = None
     result: Any = None
+    error: BaseException | None = None
 
     def __post_init__(self) -> None:
         if self.duration < 0:
@@ -148,7 +157,12 @@ class Simulator:
             op.start = t0
             op.end = t0 + op.duration
             if serial_thunks and op.thunk is not None:
-                op.result = op.thunk(op)
+                try:
+                    op.result = op.thunk(op)
+                except Exception as exc:
+                    if not op.fail_ok:
+                        raise
+                    op.error = exc
             done += 1
             for s in succs[op]:
                 indeg[s] -= 1
@@ -184,7 +198,8 @@ class Simulator:
         """Execute thunks on a thread pool in dependency order.
 
         Ops are dispatched as soon as every predecessor's thunk has
-        finished; exceptions propagate to the caller after the pool drains.
+        finished; exceptions propagate to the caller after the pool drains,
+        except for ``fail_ok`` ops whose errors are captured on the op.
         """
         from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
@@ -193,7 +208,12 @@ class Simulator:
 
         def execute(op: Op) -> Op:
             if op.thunk is not None:
-                op.result = op.thunk(op)
+                try:
+                    op.result = op.thunk(op)
+                except Exception as exc:
+                    if not op.fail_ok:
+                        raise
+                    op.error = exc
             return op
 
         with ThreadPoolExecutor(max_workers=workers) as pool:

@@ -55,12 +55,23 @@ class Device:
       directions serialize — the behaviour the paper's Fig. 4 schedule is
       designed around. CPU devices have no copy engines (``None``): host
       data is accessed in place.
+
+    Fault state
+    -----------
+    ``fault_compute_scale`` / ``fault_copy_scale`` are per-frame duration
+    multipliers set by the framework from its :class:`~repro.hw.noise.
+    FaultSchedule` (``degrade`` and ``copy_fail`` events). They model the
+    device genuinely running slower — the characterization *measures* the
+    degraded speed, it is never told about it — while dropout/hang faults
+    are surfaced as events instead of timings and never pass through here.
     """
 
     spec: DeviceSpec
     compute: Resource = field(init=False)
     copy_h2d: Resource | None = field(init=False, default=None)
     copy_d2h: Resource | None = field(init=False, default=None)
+    fault_compute_scale: float = field(init=False, default=1.0)
+    fault_copy_scale: float = field(init=False, default=1.0)
 
     def __post_init__(self) -> None:
         self.compute = Resource(name=f"{self.spec.name}.compute")
@@ -91,9 +102,23 @@ class Device:
             out.append(self.copy_d2h)
         return out
 
+    def set_fault_scales(self, compute: float = 1.0, copy: float = 1.0) -> None:
+        """Install this frame's degradation multipliers (both ≥ 1)."""
+        if compute < 1.0 or copy < 1.0:
+            raise ValueError(
+                f"fault scales must be >= 1, got compute={compute}, copy={copy}"
+            )
+        self.fault_compute_scale = compute
+        self.fault_copy_scale = copy
+
     def transfer_s(self, nbytes: float, direction: str) -> float:
-        """Simulated transfer time over this device's link (0 for CPU)."""
+        """Simulated transfer time over this device's link (0 for CPU).
+
+        Includes the current ``fault_copy_scale`` (copy-engine
+        degradation), so every planned transfer — and therefore every
+        bandwidth the characterization measures — reflects the fault.
+        """
         if not self.spec.is_accelerator:
             return 0.0
         assert self.spec.link is not None
-        return self.spec.link.transfer_s(nbytes, direction)
+        return self.spec.link.transfer_s(nbytes, direction) * self.fault_copy_scale

@@ -1,14 +1,21 @@
-"""Load-fluctuation injection.
+"""Load-fluctuation and device-fault injection.
 
 The paper runs on non-dedicated desktops: §IV reports sudden performance
 changes ("e.g. other processes started running") at specific frames, which
 the framework detects through its online Performance Characterization and
-absorbs within one frame. This module reproduces both phenomena:
+absorbs within one frame. This module reproduces those phenomena and their
+harder cousins:
 
 - :class:`PerturbationSchedule` — deterministic slowdown events at given
   frames (Fig. 7's spikes at frames 76/81 for 1 RF and 31/71/92 for 2 RFs);
 - :class:`GaussianJitter` — mild multiplicative measurement noise so that
-  the characterization never sees perfectly clean numbers.
+  the characterization never sees perfectly clean numbers;
+- :class:`FaultSchedule` — device *faults*: permanent dropout, transient
+  hang with recovery, permanent performance degradation and copy-engine
+  failure. Unlike perturbations, dropout/hang faults are surfaced to the
+  framework as events (the device produces no results at all) rather than
+  as inflated timings, so the scheduler must evict and later re-admit the
+  device instead of merely re-weighting it.
 """
 
 from __future__ import annotations
@@ -20,8 +27,15 @@ import numpy as np
 
 @dataclass(frozen=True)
 class PerturbationEvent:
-    """One transient slowdown: ``device`` runs ``factor``× slower during
-    frames ``[frame, frame + duration)``."""
+    """One transient load change: ``device`` runs ``factor``× slower during
+    frames ``[frame, frame + duration)``.
+
+    ``factor`` is a strictly positive duration multiplier: values ≥ 1 model
+    slowdowns (other processes stealing the device), values in (0, 1) model
+    speed-ups (a competing process exiting). Overlapping events for the
+    same device compose multiplicatively, so their order in the schedule
+    never matters.
+    """
 
     frame: int
     device: str
@@ -42,7 +56,12 @@ class PerturbationSchedule:
         self.events = list(events or [])
 
     def factor(self, frame: int, device: str) -> float:
-        """Combined slowdown multiplier for a device at a frame (≥ 1 == slower)."""
+        """Combined duration multiplier for a device at a frame.
+
+        ≥ 1 == slower, (0, 1) == faster. Overlapping events multiply, so
+        the result is independent of event order (deterministic
+        composition).
+        """
         f = 1.0
         for ev in self.events:
             if ev.device == device and ev.frame <= frame < ev.frame + ev.duration:
@@ -87,3 +106,111 @@ class NoiseModel:
     def scale(self, frame: int, device: str) -> float:
         """Duration multiplier for one op of ``device`` at ``frame``."""
         return self.schedule.factor(frame, device) * self.jitter.sample()
+
+
+# --------------------------- device faults -----------------------------------
+
+#: Supported fault kinds.
+#:
+#: - ``dropout``: the device disappears permanently at ``frame`` (crash,
+#:   unplug). It never recovers; ``duration`` must be 0.
+#: - ``hang``: the device stalls for ``duration`` frames starting at
+#:   ``frame`` and then recovers. ``clear_characterization`` controls
+#:   whether its performance history survives the outage (a rebooted
+#:   device must be re-probed; a merely wedged one keeps its profile).
+#: - ``degrade``: the device permanently (``duration`` = 0) or temporarily
+#:   runs ``factor``× slower on *compute* from ``frame`` on — e.g. thermal
+#:   throttling. Surfaced through timings, absorbed by characterization.
+#: - ``copy_fail``: the device's copy engines degrade by ``factor``×
+#:   (PCIe link renegotiating down, a failing DMA engine). Transfers slow
+#:   down; the LP reroutes work away from the device once the measured
+#:   bandwidth collapses.
+FAULT_KINDS = ("dropout", "hang", "degrade", "copy_fail")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One device fault (see :data:`FAULT_KINDS` for semantics).
+
+    ``frame`` uses the same 1-based inter-frame index as
+    :class:`PerturbationEvent`. ``factor`` applies to ``degrade`` /
+    ``copy_fail`` only and must be ≥ 1 (faults never speed a device up —
+    use :class:`PerturbationEvent` for load relief).
+    """
+
+    frame: int
+    device: str
+    kind: str
+    factor: float = 2.0
+    duration: int = 0
+    clear_characterization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.frame < 1:
+            raise ValueError(f"frame must be >= 1, got {self.frame}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"fault factor must be >= 1 (== slower), got {self.factor}"
+            )
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.kind == "dropout" and self.duration != 0:
+            raise ValueError("dropout is permanent; duration must be 0")
+        if self.kind == "hang" and self.duration < 1:
+            raise ValueError("hang needs duration >= 1 (frames until recovery)")
+
+    def _active(self, frame: int) -> bool:
+        """Whether this event is in effect at ``frame``."""
+        if frame < self.frame:
+            return False
+        return self.duration == 0 or frame < self.frame + self.duration
+
+
+class FaultSchedule:
+    """Deterministic per-(frame, device) fault injection.
+
+    Queried by the framework each inter frame: :meth:`down` reports
+    unavailability events (dropout/hang), :meth:`compute_factor` /
+    :meth:`copy_factor` report degradation multipliers. Overlapping
+    degradations compose multiplicatively, like perturbations.
+    """
+
+    def __init__(self, events: list[FaultEvent] | None = None) -> None:
+        self.events = list(events or [])
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def devices(self) -> set[str]:
+        """Names of all devices any event refers to (for validation)."""
+        return {ev.device for ev in self.events}
+
+    def down(self, frame: int, device: str) -> FaultEvent | None:
+        """The event keeping ``device`` unavailable at ``frame``, if any."""
+        for ev in self.events:
+            if (
+                ev.device == device
+                and ev.kind in ("dropout", "hang")
+                and ev._active(frame)
+            ):
+                return ev
+        return None
+
+    def compute_factor(self, frame: int, device: str) -> float:
+        """Combined compute-duration multiplier from ``degrade`` events."""
+        f = 1.0
+        for ev in self.events:
+            if ev.device == device and ev.kind == "degrade" and ev._active(frame):
+                f *= ev.factor
+        return f
+
+    def copy_factor(self, frame: int, device: str) -> float:
+        """Combined transfer-duration multiplier from ``copy_fail`` events."""
+        f = 1.0
+        for ev in self.events:
+            if ev.device == device and ev.kind == "copy_fail" and ev._active(frame):
+                f *= ev.factor
+        return f

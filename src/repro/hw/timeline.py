@@ -7,6 +7,51 @@ from dataclasses import dataclass, field
 from repro.hw.des import OpRecord
 
 
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """Structured per-frame fault/decision record.
+
+    One entry per encoded inter frame documents which devices the
+    scheduler considered live while executing it, what it evicted or
+    re-admitted (with a human-readable reason per device), the simulated
+    time the frame lost to fault stalls and host-side redo work, and
+    whether the distribution came from the LP.
+    """
+
+    frame_index: int
+    live: tuple[str, ...]
+    evicted: tuple[str, ...] = ()
+    readmitted: tuple[str, ...] = ()
+    reasons: tuple[tuple[str, str], ...] = ()  # (device, why) pairs
+    time_lost_s: float = 0.0
+    used_lp: bool = False
+    rstar_device: str = ""
+
+    @property
+    def eventful(self) -> bool:
+        """True when something fault-related happened this frame."""
+        return bool(self.evicted or self.readmitted or self.time_lost_s > 0)
+
+    def reason_for(self, device: str) -> str | None:
+        for name, why in self.reasons:
+            if name == device:
+                return why
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (for trace export)."""
+        return {
+            "frame": self.frame_index,
+            "live": list(self.live),
+            "evicted": list(self.evicted),
+            "readmitted": list(self.readmitted),
+            "reasons": dict(self.reasons),
+            "time_lost_s": self.time_lost_s,
+            "used_lp": self.used_lp,
+            "rstar_device": self.rstar_device,
+        }
+
+
 @dataclass
 class FrameTimeline:
     """Schedule of one encoded frame."""
@@ -48,7 +93,9 @@ class FrameTimeline:
                     continue
                 a = min(width - 1, int(rec.start * scale))
                 b = min(width, max(a + 1, int(rec.end * scale)))
-                ch = {"compute": "#", "h2d": ">", "d2h": "<"}.get(rec.category, "?")
+                ch = {"compute": "#", "h2d": ">", "d2h": "<", "fault": "X"}.get(
+                    rec.category, "?"
+                )
                 for i in range(a, b):
                     row[i] = ch
             lines.append(f"{res:>18s} |{''.join(row)}|")

@@ -1,8 +1,13 @@
-"""Timeline export in Chrome trace-event format.
+"""Timeline and fault-log export in Chrome trace-event format.
 
 Dump frame timelines to the JSON consumed by ``chrome://tracing`` /
 Perfetto, one "thread" per DES resource — the practical way to eyeball a
-multi-frame FEVES schedule outside the terminal.
+multi-frame FEVES schedule outside the terminal. Device-fault activity
+(eviction, re-admission, stall intervals) rides along: fault stalls are
+ordinary duration events with category ``fault``, and the per-frame
+:class:`~repro.hw.timeline.FaultLogEntry` records become instant events at
+each frame's start, so the moment a GPU dies is visible in the same view
+as the schedule reacting to it.
 """
 
 from __future__ import annotations
@@ -10,10 +15,15 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.hw.timeline import FrameTimeline
+from repro.hw.timeline import FaultLogEntry, FrameTimeline
 
 #: Category colors follow trace-viewer conventions via the ``cat`` field.
-_CATEGORY = {"compute": "kernel", "h2d": "transfer_in", "d2h": "transfer_out"}
+_CATEGORY = {
+    "compute": "kernel",
+    "h2d": "transfer_in",
+    "d2h": "transfer_out",
+    "fault": "fault",
+}
 
 
 def timeline_to_events(
@@ -51,18 +61,59 @@ def timeline_to_events(
     return events
 
 
+def fault_log_to_events(
+    entries: list[FaultLogEntry],
+    frame_offsets_s: dict[int, float],
+    pid: int = 1,
+) -> list[dict]:
+    """Instant events ("i" phase) for eventful fault-log entries.
+
+    ``frame_offsets_s`` maps each frame index to its start time on the
+    common trace clock; entries for frames without a timeline are skipped.
+    """
+    events: list[dict] = []
+    for entry in entries:
+        if not entry.eventful or entry.frame_index not in frame_offsets_s:
+            continue
+        parts = []
+        if entry.evicted:
+            parts.append("evicted " + ",".join(entry.evicted))
+        if entry.readmitted:
+            parts.append("readmitted " + ",".join(entry.readmitted))
+        if entry.time_lost_s > 0:
+            parts.append(f"lost {entry.time_lost_s * 1e3:.1f}ms")
+        events.append(
+            {
+                "name": "; ".join(parts) or "fault",
+                "cat": "fault",
+                "ph": "i",
+                "s": "g",  # global scope: draw across all threads
+                "pid": pid,
+                "tid": 0,
+                "ts": frame_offsets_s[entry.frame_index] * 1e6,
+                "args": entry.to_dict(),
+            }
+        )
+    return events
+
+
 def export_chrome_trace(
-    timelines: list[FrameTimeline], path: str | Path
+    timelines: list[FrameTimeline],
+    path: str | Path,
+    fault_log: list[FaultLogEntry] | None = None,
 ) -> int:
     """Write consecutive frame timelines as one chrome trace JSON file.
 
-    Frames are laid out back-to-back on a common clock. Returns the number
-    of duration events written.
+    Frames are laid out back-to-back on a common clock; an optional fault
+    log contributes instant events at the start of each eventful frame.
+    Returns the number of duration events written.
     """
     events: list[dict] = []
     offset = 0.0
     seen_meta: set[tuple[int, int]] = set()
+    frame_offsets: dict[int, float] = {}
     for tl in timelines:
+        frame_offsets[tl.frame_index] = offset
         for ev in timeline_to_events(tl, time_offset_s=offset):
             if ev["ph"] == "M":
                 key = (ev["pid"], ev["tid"])
@@ -71,6 +122,20 @@ def export_chrome_trace(
                 seen_meta.add(key)
             events.append(ev)
         offset += max(tl.tau_tot, 0.0)
+    if fault_log:
+        events.extend(fault_log_to_events(fault_log, frame_offsets))
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     Path(path).write_text(json.dumps(payload))
     return sum(1 for e in events if e["ph"] == "X")
+
+
+def export_fault_log(entries: list[FaultLogEntry], path: str | Path) -> int:
+    """Write the structured per-frame fault/decision log as JSON.
+
+    Returns the number of entries written. The file is a JSON array of
+    per-frame objects (see :meth:`FaultLogEntry.to_dict`), suitable for
+    postmortem tooling and diffing across runs.
+    """
+    payload = [entry.to_dict() for entry in entries]
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return len(payload)

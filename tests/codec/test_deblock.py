@@ -1,7 +1,6 @@
 """DBL: boundary strengths and edge filters."""
 
 import numpy as np
-import pytest
 
 from repro.codec.deblock import (
     ALPHA_TABLE,

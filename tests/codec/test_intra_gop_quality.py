@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.codec.config import CodecConfig
 from repro.codec.frames import YuvFrame
 from repro.codec.gop import ReferenceStore
 from repro.codec.intra import _dc_predict, intra_encode_frame

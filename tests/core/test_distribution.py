@@ -73,6 +73,60 @@ class TestRounding:
         with pytest.raises(ValueError):
             round_preserving_sum(np.array([-1.0, 2.0]), 5)
 
+    def test_solver_noise_tolerated(self):
+        # HiGHS can return tiny negative values for variables at their
+        # zero bound; those must be clamped, not rejected.
+        out = round_preserving_sum(np.array([-5e-8, 1.0]), 68)
+        assert out == (0, 68)
+
+    def test_zero_total(self):
+        assert round_preserving_sum(np.array([2.0, 3.0]), 0) == (0, 0)
+
+    def test_single_entry(self):
+        assert round_preserving_sum(np.array([0.37]), 68) == (68,)
+
+    def test_empty_input_zero_total(self):
+        assert round_preserving_sum(np.array([]), 0) == ()
+
+    def test_empty_input_nonzero_total_rejected(self):
+        with pytest.raises(ValueError):
+            round_preserving_sum(np.array([]), 5)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            round_preserving_sum(np.array([1.0, 2.0]), -1)
+
+    def test_stable_tie_break(self):
+        # Equal fractional parts: the leftover row goes to the earliest
+        # index, deterministically.
+        assert round_preserving_sum(np.array([1.0, 1.0, 1.0]), 4) == (2, 1, 1)
+        assert round_preserving_sum(np.array([1.0, 1.0, 1.0, 1.0]), 6) == (
+            2, 2, 1, 1,
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e-7, max_value=100), min_size=1, max_size=6
+        ),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_degenerate_inputs_preserve_sum(self, fracs, total):
+        out = round_preserving_sum(np.array(fracs), total)
+        assert len(out) == len(fracs)
+        assert sum(out) == total
+        assert all(x >= 0 for x in out)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=50), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic(self, fracs, total):
+        a = round_preserving_sum(np.array(fracs), total)
+        b = round_preserving_sum(np.array(fracs), total)
+        assert a == b
+
 
 class TestIntervals:
     def test_overlap(self):

@@ -1,0 +1,285 @@
+"""Device-fault injection: eviction, rebalancing, re-admission, logging."""
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.hw.presets import get_platform
+from repro.video.generator import SyntheticSequence
+
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+
+def run_with_faults(platform: str, events, frames: int, **fw_kwargs):
+    fw = FevesFramework(
+        get_platform(platform),
+        CFG,
+        FrameworkConfig(faults=FaultSchedule(events), **fw_kwargs),
+    )
+    outcomes = fw.run_model(frames)
+    return fw, outcomes
+
+
+class TestDropout:
+    def test_acceptance_dropout_matches_reduced_platform(self):
+        """ISSUE acceptance: mid-encode permanent dropout of one GPU.
+
+        The encoder completes all frames with no exception, the LP is
+        re-solved over the survivors within one frame of the fault, and
+        the steady-state frame time lands within 10% of a from-scratch
+        run on the reduced platform.
+        """
+        fw, outcomes = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=5, device="GPU_F2", kind="dropout")],
+            15,
+        )
+        assert len(outcomes) == 15  # completed every frame
+
+        # The fault frame still charges the dying device with its planned
+        # rows; the very next frame's decision excludes it and is LP-based.
+        fault_report = fw.reports[4]
+        assert fault_report.faulted == ("GPU_F2",)
+        next_dec = fw.reports[5].decision
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        assert next_dec.used_lp
+        assert next_dec.m.rows[idx] == 0
+        assert next_dec.l.rows[idx] == 0
+        assert next_dec.s.rows[idx] == 0
+
+        oracle = FevesFramework(get_platform("SysNF"), CFG, FrameworkConfig())
+        oracle.run_model(15)
+        post = fw.reports[-1].tau_tot
+        ref = oracle.reports[-1].tau_tot
+        assert post == pytest.approx(ref, rel=0.10)
+
+    def test_fault_frame_absorbs_stall_and_redo(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="dropout")],
+            6,
+        )
+        rep = fw.reports[3]
+        assert rep.fault_time_lost_s > 0
+        # the stall op shows up on the dead device's engine as "fault"
+        labels = [r.label for r in rep.timeline.records if r.category == "fault"]
+        assert labels == ["FAULT[GPU_F2]"]
+        # the fault frame is slower than its neighbours
+        assert rep.tau_tot > fw.reports[2].tau_tot
+
+    def test_dropped_device_never_returns(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=3, device="GPU_F2", kind="dropout")],
+            12,
+        )
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        for rep in fw.reports[3:]:
+            assert rep.decision.m.rows[idx] == 0
+            assert rep.decision.s.rows[idx] == 0
+        assert fw.summary()["live_devices"] == ["CPU_N", "GPU_F"]
+
+    def test_cpu_dropout_leaves_gpus_running(self):
+        fw, outcomes = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="CPU_N", kind="dropout")],
+            10,
+        )
+        assert len(outcomes) == 10
+        idx = [d.name for d in fw.platform.devices].index("CPU_N")
+        assert fw.reports[-1].decision.m.rows[idx] == 0
+
+    def test_all_devices_down_raises(self):
+        with pytest.raises(RuntimeError, match="all devices faulted"):
+            run_with_faults(
+                "SysNF",
+                [
+                    FaultEvent(frame=3, device="GPU_F", kind="dropout"),
+                    FaultEvent(frame=3, device="CPU_N", kind="dropout"),
+                ],
+                6,
+            )
+
+    def test_unknown_fault_device_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            FevesFramework(
+                get_platform("SysNF"),
+                CFG,
+                FrameworkConfig(
+                    faults=FaultSchedule(
+                        [FaultEvent(frame=2, device="nope", kind="dropout")]
+                    )
+                ),
+            )
+
+
+class TestRstarDeviceDropout:
+    def test_rstar_moves_to_survivor_on_fault_frame(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=5, device="GPU_F", kind="dropout")],
+            10,
+        )
+        # GPU_F hosts R* in steady state on SysNFF; after its death every
+        # frame (including the fault frame itself) runs R* elsewhere.
+        assert fw.reports[3].rstar_device == "GPU_F"
+        for rep in fw.reports[4:]:
+            assert rep.rstar_device != "GPU_F"
+
+    def test_forced_centric_overridden_by_survival(self):
+        fw, outcomes = run_with_faults(
+            "SysNF",
+            [FaultEvent(frame=4, device="GPU_F", kind="dropout")],
+            8,
+            centric="gpu",
+        )
+        assert len(outcomes) == 8
+        assert fw.reports[-1].rstar_device == "CPU_N"
+
+
+class TestHangRecovery:
+    def test_hang_evicts_then_readmits(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="hang", duration=3)],
+            12,
+        )
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        # down during frames 5..6 (evicted after the frame-4 stall)
+        for f in (5, 6):
+            assert fw.reports[f - 1].decision.m.rows[idx] == 0
+        readmit = [e for e in fw.fault_log if e.readmitted]
+        assert len(readmit) == 1 and readmit[0].frame_index == 7
+        # priors give a one-frame re-warm: the LP uses it again immediately
+        rep7 = fw.reports[6]
+        assert rep7.decision.used_lp
+        assert rep7.decision.m.rows[idx] + rep7.decision.l.rows[idx] > 0
+        # steady state returns to the pre-fault optimum
+        assert fw.reports[-1].tau_tot == pytest.approx(
+            fw.reports[2].tau_tot, rel=0.05
+        )
+
+    def test_cleared_characterization_warms_up(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [
+                FaultEvent(
+                    frame=4,
+                    device="GPU_F2",
+                    kind="hang",
+                    duration=2,
+                    clear_characterization=True,
+                )
+            ],
+            12,
+        )
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        # re-admitted at frame 6 with no characterization: the decision
+        # grants exactly the configured warm-up rows per module
+        rep6 = fw.reports[5]
+        assert rep6.decision.m.rows[idx] == fw.fw_cfg.warmup_rows
+        assert rep6.decision.s.rows[idx] == fw.fw_cfg.warmup_rows
+        # measured again, the device earns a real share afterwards
+        assert fw.reports[-1].decision.m.rows[idx] > fw.fw_cfg.warmup_rows
+        assert fw.reports[-1].tau_tot == pytest.approx(
+            fw.reports[2].tau_tot, rel=0.05
+        )
+
+
+class TestDegradation:
+    def test_degrade_shifts_rows_off_device(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="degrade", factor=3.0)],
+            10,
+        )
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        before = fw.reports[2].decision.m.rows[idx]
+        after = fw.reports[-1].decision.m.rows[idx]
+        assert after < before
+        # the device is degraded, not evicted
+        assert fw.summary()["live_devices"] == ["CPU_N", "GPU_F", "GPU_F2"]
+        assert not any(e.evicted for e in fw.fault_log)
+
+    def test_copy_fail_slows_transfers_and_rebalances(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="copy_fail", factor=8.0)],
+            10,
+        )
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        before = (
+            fw.reports[2].decision.m.rows[idx] + fw.reports[2].decision.l.rows[idx]
+        )
+        after = (
+            fw.reports[-1].decision.m.rows[idx]
+            + fw.reports[-1].decision.l.rows[idx]
+        )
+        assert after < before
+
+
+class TestFaultLog:
+    def test_every_frame_logged(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="hang", duration=2)],
+            8,
+        )
+        assert [e.frame_index for e in fw.fault_log] == list(range(1, 9))
+
+    def test_log_records_eviction_and_readmission(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=4, device="GPU_F2", kind="hang", duration=2)],
+            8,
+        )
+        ev4 = fw.fault_log[3]
+        assert ev4.evicted == ("GPU_F2",)
+        assert "hang at frame 4" in (ev4.reason_for("GPU_F2") or "")
+        assert ev4.time_lost_s > 0
+        ev6 = fw.fault_log[5]
+        assert ev6.readmitted == ("GPU_F2",)
+        quiet = fw.fault_log[1]
+        assert not quiet.eventful
+
+    def test_log_live_set_shrinks(self):
+        fw, _ = run_with_faults(
+            "SysNFF",
+            [FaultEvent(frame=3, device="GPU_F2", kind="dropout")],
+            6,
+        )
+        assert fw.fault_log[2].live == ("CPU_N", "GPU_F", "GPU_F2")
+        assert fw.fault_log[3].live == ("CPU_N", "GPU_F")
+
+
+class TestRealModeBitExact:
+    def test_dropout_does_not_change_the_bitstream(self):
+        """Redo-on-survivor keeps the collaborative output bit-exact."""
+        cfg = CodecConfig(width=128, height=96, search_range=8, num_ref_frames=2)
+        frames = SyntheticSequence(
+            width=128, height=96, seed=11, noise_sigma=1.5
+        ).frames(7)
+
+        def encode(faults):
+            fw = FevesFramework(
+                get_platform("SysNFF"),
+                cfg,
+                FrameworkConfig(compute="real", faults=faults),
+            )
+            return fw.encode(frames)
+
+        clean = encode(FaultSchedule())
+        faulty = encode(
+            FaultSchedule([FaultEvent(frame=3, device="GPU_F2", kind="dropout")])
+        )
+        for a, b in zip(clean, faulty):
+            assert (a.encoded is None) == (b.encoded is None)
+            if a.encoded is None:
+                continue
+            assert a.encoded.bits == b.encoded.bits
+            assert np.array_equal(a.encoded.recon.y, b.encoded.recon.y)
+            assert np.array_equal(a.encoded.recon.u, b.encoded.recon.u)
+            assert np.array_equal(a.encoded.recon.v, b.encoded.recon.v)

@@ -131,6 +131,103 @@ class TestCaching:
         assert d2 is not d1
 
 
+class TestSigmaWindow:
+    """σ sizing when the predicted τ2→τtot catch-up window collapses."""
+
+    def _dists(self):
+        from repro.core.distribution import Distribution
+
+        rows = (30, 30, 8)
+        return tuple(Distribution(rows=rows, total=68) for _ in range(3))
+
+    def test_non_positive_window_defers_everything(self):
+        # Regression: τtot ≤ τ2 used to size σ from a negative budget and
+        # blow up in sf_remainder_segments. It must clamp to zero and
+        # defer the whole catch-up to σʳ.
+        _, balancer, perf, *_ = make_solver("SysNFF")
+        m, l, s = self._dists()
+        d = balancer._finalize(
+            m, l, s, (0.010, 0.020, 0.015),
+            used_lp=True, perf=perf, rstar_device="GPU_F",
+        )
+        assert d.sigma["GPU_F2"].rows == 0
+        assert d.sigma_r["GPU_F2"].rows > 0
+
+    def test_exactly_zero_window(self):
+        _, balancer, perf, *_ = make_solver("SysNFF")
+        m, l, s = self._dists()
+        d = balancer._finalize(
+            m, l, s, (0.010, 0.020, 0.020),
+            used_lp=True, perf=perf, rstar_device="GPU_F",
+        )
+        assert d.sigma["GPU_F2"].rows == 0
+
+    def test_positive_window_still_catches_up(self):
+        _, balancer, perf, *_ = make_solver("SysNFF")
+        m, l, s = self._dists()
+        d = balancer._finalize(
+            m, l, s, (0.010, 0.020, 0.080),
+            used_lp=True, perf=perf, rstar_device="GPU_F",
+        )
+        assert d.sigma["GPU_F2"].rows > 0
+
+    def test_window_split_is_exhaustive(self):
+        # σ + σʳ must cover the same rows regardless of the window size.
+        _, balancer, perf, *_ = make_solver("SysNFF")
+        m, l, s = self._dists()
+        closed = balancer._finalize(
+            m, l, s, (0.010, 0.020, 0.015),
+            used_lp=True, perf=perf, rstar_device="GPU_F",
+        )
+        open_ = balancer._finalize(
+            m, l, s, (0.010, 0.020, 0.080),
+            used_lp=True, perf=perf, rstar_device="GPU_F",
+        )
+        for dec in (closed, open_):
+            total = dec.sigma["GPU_F2"].rows + dec.sigma_r["GPU_F2"].rows
+            assert total == (
+                closed.sigma["GPU_F2"].rows + closed.sigma_r["GPU_F2"].rows
+            )
+
+
+class TestLiveRestriction:
+    def test_solve_with_dead_device_uses_lp_over_survivors(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            "SysNFF"
+        )
+        live = frozenset({"GPU_F", "CPU_N"})
+        d = balancer.solve(perf, rstar, needs_rf, sigma_r, live=live)
+        assert d.used_lp
+        idx = [dev.name for dev in platform.devices].index("GPU_F2")
+        for dist in (d.m, d.l, d.s):
+            assert dist.rows[idx] == 0
+            assert sum(dist.rows) == 68
+
+    def test_single_survivor_degenerates_without_lp(self):
+        platform, balancer, perf, rstar, needs_rf, sigma_r = make_solver(
+            "SysNFF"
+        )
+        d = balancer.solve(
+            perf, "CPU_N", needs_rf, sigma_r, live=frozenset({"CPU_N"})
+        )
+        assert not d.used_lp
+        idx = [dev.name for dev in platform.devices].index("CPU_N")
+        assert d.m.rows[idx] == 68
+        assert d.s.rows[idx] == 68
+
+    def test_equidistant_respects_live(self):
+        platform, balancer, *_ = make_solver("SysNFF")
+        d = balancer.equidistant(live={"GPU_F", "CPU_N"})
+        idx = [dev.name for dev in platform.devices].index("GPU_F2")
+        assert d.m.rows[idx] == 0
+        assert sum(d.m.rows) == 68
+
+    def test_no_live_devices_raises(self):
+        _, balancer, *_ = make_solver("SysNFF")
+        with pytest.raises(ValueError, match="no live devices"):
+            balancer.equidistant(live=set())
+
+
 class TestCpuCentric:
     def test_cpu_rstar_feasible(self):
         platform, balancer, perf, _, _, sigma_r = make_solver("SysHK")

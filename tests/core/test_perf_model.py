@@ -99,3 +99,71 @@ class TestReadiness:
     def test_alpha_validated(self):
         with pytest.raises(ValueError):
             PerformanceCharacterization(alpha=0.0)
+
+
+class TestPriorSeeding:
+    """First real observation must replace a prior outright, not blend."""
+
+    def test_first_observation_absorbs_in_one_frame(self):
+        p = PerformanceCharacterization(alpha=0.2)
+        p.observe_compute("dev", "me", rows=1, seconds=1.0, prior=True)
+        assert p.is_prior("dev", "me")
+        # With alpha=0.2 a blend would land at 0.2*0.01 + 0.8*1.0 = 0.802;
+        # seeding outright lands exactly on the measurement.
+        p.observe_compute("dev", "me", rows=10, seconds=0.1)
+        assert p.k_compute("dev", "me") == pytest.approx(0.01)
+        assert not p.is_prior("dev", "me")
+
+    def test_subsequent_observations_blend(self):
+        p = PerformanceCharacterization(alpha=0.5)
+        p.observe_compute("dev", "me", rows=1, seconds=0.01)
+        p.observe_compute("dev", "me", rows=1, seconds=0.03)
+        assert p.k_compute("dev", "me") == pytest.approx(0.02)
+
+    def test_prior_never_overwrites_measurement(self):
+        p = PerformanceCharacterization()
+        p.observe_compute("dev", "me", rows=1, seconds=0.01)
+        p.observe_compute("dev", "me", rows=1, seconds=9.9, prior=True)
+        assert p.k_compute("dev", "me") == pytest.approx(0.01)
+        assert not p.is_prior("dev", "me")
+
+    def test_rstar_and_transfer_priors(self):
+        p = PerformanceCharacterization(alpha=0.25)
+        p.observe_rstar("dev", 1.0, prior=True)
+        p.observe_transfer("dev", "h2d", 1e6, 1.0, prior=True)
+        p.observe_rstar("dev", 0.004)
+        p.observe_transfer("dev", "h2d", 1e6, 1e-3)
+        assert p.rstar_frame_s("dev") == pytest.approx(0.004)
+        assert p.bandwidth("dev", "h2d") == pytest.approx(1e9)
+
+
+class TestInvalidate:
+    def _measured(self) -> PerformanceCharacterization:
+        p = PerformanceCharacterization()
+        for mod in ("me", "int", "sme"):
+            p.observe_compute("dev", mod, 1, 0.01)
+        p.observe_transfer("dev", "h2d", 1e6, 1e-3)
+        p.observe_transfer("dev", "d2h", 1e6, 1e-3)
+        return p
+
+    def test_keep_prior_demotes(self):
+        p = self._measured()
+        p.invalidate("dev", keep_prior=True)
+        # estimates survive as priors...
+        assert p.k_compute("dev", "me") == pytest.approx(0.01)
+        assert p.is_prior("dev", "me")
+        # ...and the next measurement replaces them in one frame
+        p.observe_compute("dev", "me", 1, 0.04)
+        assert p.k_compute("dev", "me") == pytest.approx(0.04)
+
+    def test_forget_everything(self):
+        p = self._measured()
+        p.invalidate("dev", keep_prior=False)
+        assert p.k_compute("dev", "me") is None
+        assert not p.ready_for_lp(["dev"], ["dev"])
+
+    def test_invalidate_unknown_device_is_noop(self):
+        p = PerformanceCharacterization()
+        p.invalidate("ghost", keep_prior=True)
+        p.invalidate("ghost", keep_prior=False)
+        assert p.k_compute("ghost", "me") is None

@@ -52,3 +52,40 @@ class TestSelection:
         p = get_platform("SysNF")
         d = select_rstar_device(p, {"GPU_F": 0.004, "CPU_N": 0.008}, CFG)
         assert [stage for stage, _ in d.path] == [s for s, _ in RSTAR_STAGES]
+
+
+class TestShrinkingDeviceSet:
+    """Re-selection as devices fault out: the graph only ever shrinks."""
+
+    EST = {"GPU_F": 0.004, "GPU_F2": 0.0039, "CPU_N": 0.008}
+
+    def test_reselect_after_winner_drops(self):
+        p = get_platform("SysNFF")
+        winner = select_rstar_device(p, self.EST, CFG).device
+        survivors = {d: t for d, t in self.EST.items() if d != winner}
+        d2 = select_rstar_device(p, survivors, CFG)
+        assert d2.device != winner
+        assert d2.device in survivors
+
+    def test_two_then_one_device(self):
+        p = get_platform("SysNFF")
+        d = select_rstar_device(p, {"GPU_F": 0.004, "CPU_N": 0.008}, CFG)
+        assert d.device == "GPU_F"
+        d = select_rstar_device(p, {"CPU_N": 0.008}, CFG)
+        assert d.device == "CPU_N"
+        assert {dev for _, dev in d.path} == {"CPU_N"}
+
+    def test_last_survivor_even_if_slow(self):
+        # The sole remaining estimate wins no matter how bad it is.
+        p = get_platform("SysNFF")
+        d = select_rstar_device(p, {"GPU_F2": 99.0}, CFG)
+        assert d.device == "GPU_F2"
+
+    def test_shrinking_never_improves_total(self):
+        p = get_platform("SysNFF")
+        full = select_rstar_device(p, self.EST, CFG).total_s
+        names = sorted(self.EST)
+        for drop in names:
+            survivors = {d: t for d, t in self.EST.items() if d != drop}
+            reduced = select_rstar_device(p, survivors, CFG).total_s
+            assert reduced >= full - 1e-12

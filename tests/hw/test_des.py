@@ -128,6 +128,62 @@ class TestThunks:
         assert a.end == 1.0
 
 
+class TestFailOk:
+    def test_serial_exception_propagates_by_default(self):
+        r = Resource("r")
+
+        def boom(op):
+            raise RuntimeError("device lost")
+
+        Op("a", r, 1.0, thunk=boom)
+        with pytest.raises(RuntimeError, match="device lost"):
+            Simulator([r]).run()
+
+    def test_serial_fail_ok_captures_error(self):
+        r = Resource("r")
+
+        def boom(op):
+            raise RuntimeError("device lost")
+
+        a = Op("a", r, 1.0, thunk=boom, fail_ok=True)
+        b = Op("b", r, 2.0, deps=[a], thunk=lambda op: "fine")
+        Simulator([r]).run()
+        assert isinstance(a.error, RuntimeError)
+        assert a.result is None
+        # downstream ops still execute: the fault is an event, not an abort
+        assert b.result == "fine"
+        assert (b.start, b.end) == (1.0, 3.0)
+
+    def test_parallel_fail_ok_captures_error(self):
+        r1, r2 = Resource("r1"), Resource("r2")
+
+        def boom(op):
+            raise RuntimeError("device lost")
+
+        a = Op("a", r1, 1.0, thunk=boom, fail_ok=True)
+        b = Op("b", r2, 1.0, thunk=lambda op: "fine")
+        Simulator([r1, r2]).run(parallel_workers=2)
+        assert isinstance(a.error, RuntimeError)
+        assert b.result == "fine"
+
+    def test_parallel_exception_propagates_by_default(self):
+        r = Resource("r")
+
+        def boom(op):
+            raise RuntimeError("device lost")
+
+        Op("a", r, 1.0, thunk=boom)
+        Op("b", r, 1.0, thunk=lambda op: None)
+        with pytest.raises(RuntimeError, match="device lost"):
+            Simulator([r]).run(parallel_workers=2)
+
+    def test_error_cleared_on_success(self):
+        r = Resource("r")
+        a = Op("a", r, 1.0, thunk=lambda op: 7, fail_ok=True)
+        Simulator([r]).run()
+        assert a.error is None and a.result == 7
+
+
 class TestReset:
     def test_reset_clears_ops(self):
         r = Resource("r")

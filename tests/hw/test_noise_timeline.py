@@ -4,6 +4,8 @@ import pytest
 
 from repro.hw.des import OpRecord
 from repro.hw.noise import (
+    FaultEvent,
+    FaultSchedule,
     GaussianJitter,
     NoiseModel,
     PerturbationEvent,
@@ -52,6 +54,95 @@ class TestPerturbationSchedule:
             PerturbationEvent(frame=1, device="D", factor=0.0)
         with pytest.raises(ValueError):
             PerturbationEvent(frame=1, device="D", factor=1.0, duration=0)
+
+    def test_speedup_factor_allowed(self):
+        # factors in (0, 1) model a device speeding up (e.g. background
+        # load ending); only non-positive factors are invalid.
+        sched = PerturbationSchedule(
+            [PerturbationEvent(frame=3, device="D", factor=0.5)]
+        )
+        assert sched.factor(3, "D") == 0.5
+        with pytest.raises(ValueError):
+            PerturbationEvent(frame=1, device="D", factor=-0.5)
+
+    def test_composition_is_order_independent(self):
+        events = [
+            PerturbationEvent(frame=4, device="D", factor=2.0, duration=3),
+            PerturbationEvent(frame=5, device="D", factor=0.5, duration=3),
+            PerturbationEvent(frame=5, device="D", factor=3.0),
+        ]
+        fwd = PerturbationSchedule(events)
+        rev = PerturbationSchedule(list(reversed(events)))
+        for frame in range(3, 9):
+            assert fwd.factor(frame, "D") == rev.factor(frame, "D")
+        assert fwd.factor(5, "D") == pytest.approx(3.0)  # 2.0 * 0.5 * 3.0
+
+
+class TestFaultSchedule:
+    def test_dropout_is_permanent(self):
+        sched = FaultSchedule(
+            [FaultEvent(frame=5, device="G", kind="dropout")]
+        )
+        assert sched.down(4, "G") is None
+        for frame in (5, 6, 100):
+            ev = sched.down(frame, "G")
+            assert ev is not None and ev.kind == "dropout"
+        assert sched.down(5, "other") is None
+
+    def test_hang_window_closes(self):
+        sched = FaultSchedule(
+            [FaultEvent(frame=5, device="G", kind="hang", duration=2)]
+        )
+        assert sched.down(4, "G") is None
+        assert sched.down(5, "G") is not None
+        assert sched.down(6, "G") is not None
+        assert sched.down(7, "G") is None
+
+    def test_degrade_scales_compute_only(self):
+        sched = FaultSchedule(
+            [FaultEvent(frame=3, device="G", kind="degrade", factor=2.5)]
+        )
+        assert sched.compute_factor(2, "G") == 1.0
+        assert sched.compute_factor(3, "G") == 2.5
+        assert sched.compute_factor(50, "G") == 2.5  # permanent
+        assert sched.copy_factor(3, "G") == 1.0
+        assert sched.down(3, "G") is None  # degraded, not down
+
+    def test_copy_fail_scales_transfers_only(self):
+        sched = FaultSchedule(
+            [FaultEvent(frame=3, device="G", kind="copy_fail", factor=4.0)]
+        )
+        assert sched.copy_factor(3, "G") == 4.0
+        assert sched.compute_factor(3, "G") == 1.0
+
+    def test_degradations_compose(self):
+        sched = FaultSchedule([
+            FaultEvent(frame=3, device="G", kind="degrade", factor=2.0),
+            FaultEvent(frame=5, device="G", kind="degrade", factor=3.0),
+        ])
+        assert sched.compute_factor(4, "G") == 2.0
+        assert sched.compute_factor(5, "G") == 6.0
+
+    def test_devices_listed(self):
+        sched = FaultSchedule([
+            FaultEvent(frame=3, device="A", kind="dropout"),
+            FaultEvent(frame=4, device="B", kind="degrade", factor=2.0),
+        ])
+        assert sched.devices() == {"A", "B"}
+        assert not sched.empty
+        assert FaultSchedule().empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(frame=0, device="G", kind="dropout")
+        with pytest.raises(ValueError):
+            FaultEvent(frame=1, device="G", kind="explode")
+        with pytest.raises(ValueError):
+            FaultEvent(frame=1, device="G", kind="degrade", factor=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(frame=1, device="G", kind="hang")  # needs duration
+        with pytest.raises(ValueError):
+            FaultEvent(frame=1, device="G", kind="dropout", duration=3)
 
 
 class TestJitter:

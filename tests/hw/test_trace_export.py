@@ -62,3 +62,66 @@ class TestTraceExport:
         assert not any(
             e["ph"] == "X" and e["name"] in ("tau1", "tau2") for e in events
         )
+
+
+@pytest.fixture(scope="module")
+def faulted_fw():
+    from repro.hw.noise import FaultEvent, FaultSchedule
+
+    fw = FevesFramework(
+        get_platform("SysNFF"),
+        CFG,
+        FrameworkConfig(
+            faults=FaultSchedule(
+                [FaultEvent(frame=3, device="GPU_F2", kind="dropout")]
+            )
+        ),
+    )
+    fw.run_model(5)
+    return fw
+
+
+class TestFaultExport:
+    def test_fault_category_in_trace(self, faulted_fw):
+        # the detection stall surfaces as a "fault"-category slice
+        tl = faulted_fw.reports[2].timeline
+        events = timeline_to_events(tl)
+        faults = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "fault"
+        ]
+        assert len(faults) == 1
+        assert faults[0]["name"] == "FAULT[GPU_F2]"
+
+    def test_fault_log_to_events(self, faulted_fw):
+        from repro.hw.trace_export import fault_log_to_events
+
+        offsets = {f: 0.1 * (f - 1) for f in range(1, 6)}
+        events = fault_log_to_events(faulted_fw.fault_log, offsets)
+        # only eventful frames produce instant events
+        assert events
+        assert all(e["ph"] == "i" for e in events)
+        assert any("GPU_F2" in e["name"] for e in events)
+
+    def test_chrome_trace_includes_fault_instants(self, faulted_fw, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(
+            [r.timeline for r in faulted_fw.reports],
+            path,
+            fault_log=faulted_fw.fault_log,
+        )
+        payload = json.loads(path.read_text())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1  # one eviction event
+
+    def test_export_fault_log_roundtrip(self, faulted_fw, tmp_path):
+        from repro.hw.trace_export import export_fault_log
+
+        path = tmp_path / "faults.json"
+        n = export_fault_log(faulted_fw.fault_log, path)
+        assert n == len(faulted_fw.fault_log)
+        payload = json.loads(path.read_text())
+        assert [e["frame"] for e in payload] == list(range(1, 6))
+        ev = payload[2]
+        assert ev["evicted"] == ["GPU_F2"]
+        assert ev["time_lost_s"] > 0
+        assert "dropout at frame 3" in ev["reasons"]["GPU_F2"]

@@ -69,3 +69,37 @@ class TestCli:
 
         payload = json.loads(out.read_text())
         assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_run_with_fault_injection(self, tmp_path, capsys):
+        log = tmp_path / "faults.json"
+        rc = main([
+            "run", "--platform", "SysNFF", "--frames", "8",
+            "--drop", "GPU_F2@4", "--fault-log", str(log),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "live devices at end: ['CPU_N', 'GPU_F']" in out
+        assert "frame 4: evicted GPU_F2" in out
+        import json
+
+        payload = json.loads(log.read_text())
+        assert len(payload) == 8
+        assert payload[3]["evicted"] == ["GPU_F2"]
+
+    def test_run_hang_and_degrade_flags(self, capsys):
+        rc = main([
+            "run", "--platform", "SysNFF", "--frames", "10",
+            "--hang", "GPU_F2@3:2", "--degrade", "GPU_F@6:1.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted GPU_F2" in out
+        assert "readmitted GPU_F2" in out
+
+    def test_bad_fault_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--platform", "SysNFF", "--frames", "5",
+                  "--drop", "GPU_F2"])
+        with pytest.raises(SystemExit):
+            main(["run", "--platform", "SysNFF", "--frames", "5",
+                  "--hang", "GPU_F2@3"])

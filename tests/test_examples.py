@@ -56,6 +56,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "partition-mode usage" in out
 
+    def test_fault_tolerance(self, capsys):
+        run_example("fault_tolerance")
+        out = capsys.readouterr().out
+        assert "re-admitted" in out
+        assert "2-device steady state" in out
+        assert "post-dropout frame time" in out
+
     def test_streaming_pipeline(self, capsys):
         run_example("streaming_pipeline")
         out = capsys.readouterr().out
