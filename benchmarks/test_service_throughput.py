@@ -1,0 +1,115 @@
+"""Service throughput: sustained streams vs deadline-miss rate on SysHK.
+
+Sweeps the number of concurrent 25 fps 1080p streams the encoding service
+carries on SysHK and records the aggregate deadline-miss rate, p95 frame
+latency, and device utilization at each level. The shape assertions pin
+the capacity story: the platform sustains a small number of streams with
+no misses, saturates, and degrades gracefully (misses grow monotonically,
+utilization approaches 1) instead of collapsing. Results are persisted
+both as the usual text table and as machine-readable JSON
+(``benchmarks/results/service_throughput.json``), which CI uploads as an
+artifact for run-over-run comparison.
+"""
+
+import json
+
+import pytest
+
+from conftest import RESULTS_DIR, save_result
+from repro.report import format_table
+from repro.service import EncodingService, ServiceConfig, build_workload
+
+STREAM_COUNTS = (1, 2, 3, 4, 6, 8)
+N_FRAMES = 12
+FPS = 25.0
+
+
+def serve_level(n_streams: int) -> dict:
+    service = EncodingService(
+        ServiceConfig(platform="SysHK", headroom=4.0, max_queue=2 * n_streams)
+    )
+    metrics = service.run(
+        build_workload(n_streams, n_frames=N_FRAMES, fps_target=FPS)
+    )
+    return {
+        "streams": n_streams,
+        "p50_ms": metrics.p50_ms,
+        "p95_ms": metrics.p95_ms,
+        "p99_ms": metrics.p99_ms,
+        "deadline_miss_rate": metrics.deadline_miss_rate,
+        "cpu_utilization": metrics.device_utilization.get("CPU_H.compute", 0.0),
+        "gpu_utilization": metrics.device_utilization.get("GPU_K.compute", 0.0),
+        "admitted": metrics.admission["admitted"],
+        "rejected": metrics.admission["rejected"],
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [serve_level(n) for n in STREAM_COUNTS]
+
+
+def test_throughput_table(sweep, emit, benchmark):
+    benchmark.pedantic(serve_level, args=(2,), rounds=2, iterations=1)
+    rows = [
+        [
+            r["streams"],
+            f"{r['p50_ms']:.1f}",
+            f"{r['p95_ms']:.1f}",
+            f"{100 * r['deadline_miss_rate']:.0f}%",
+            f"{100 * r['cpu_utilization']:.0f}%",
+            f"{100 * r['gpu_utilization']:.0f}%",
+        ]
+        for r in sweep
+    ]
+    emit(
+        "service_throughput",
+        format_table(
+            ["streams", "p50 ms", "p95 ms", "miss", "CPU util", "GPU util"],
+            rows,
+            title=(
+                f"Encoding service on SysHK — {FPS:g} fps 1080p streams, "
+                f"{N_FRAMES} frames each"
+            ),
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_throughput.json").write_text(
+        json.dumps(
+            {
+                "platform": "SysHK",
+                "fps_target": FPS,
+                "n_frames": N_FRAMES,
+                "levels": sweep,
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+
+
+def test_light_load_meets_deadlines(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sweep[0]["deadline_miss_rate"] == 0.0  # one stream: no misses
+
+
+def test_miss_rate_monotone_in_load(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    misses = [r["deadline_miss_rate"] for r in sweep]
+    assert all(b >= a - 1e-9 for a, b in zip(misses, misses[1:]))
+    assert misses[-1] > 0  # 8 streams oversubscribe SysHK
+
+
+def test_latency_grows_with_load(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sweep[-1]["p95_ms"] > 2 * sweep[0]["p95_ms"]
+
+
+def test_saturation_drives_utilization(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    heavy = sweep[-1]
+    assert heavy["cpu_utilization"] > 0.5
+    assert heavy["gpu_utilization"] > 0.5
+    for r in sweep:
+        assert r["cpu_utilization"] <= 1.0 + 1e-9
+        assert r["gpu_utilization"] <= 1.0 + 1e-9

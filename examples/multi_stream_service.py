@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-stream encoding service on one shared platform.
+
+Submits a broadcast-style mix of streams — a realtime contribution feed,
+standard VOD channels, and a background transcode — to the encoding
+service on SysHK. The admission controller commits capacity per stream,
+the co-scheduler partitions the platform every round by deadline slack,
+and midway through a GPU drops out: every session evicts it, rebalances
+onto the CPU, and the deadline-miss metrics show who paid for the lost
+capacity.
+
+Run:  python examples/multi_stream_service.py
+"""
+
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.report import format_table
+from repro.service import EncodingService, ServiceConfig, build_workload
+
+
+def main() -> None:
+    workload = build_workload(
+        n_streams=4, n_frames=12, mix="broadcast", arrival_rate=8.0, seed=1
+    )
+    faults = FaultSchedule(
+        [FaultEvent(frame=6, device="GPU_K", kind="dropout")]
+    )
+    service = EncodingService(ServiceConfig(platform="SysHK", faults=faults))
+    metrics = service.run(workload)
+
+    rows = [
+        [
+            m.stream_id,
+            m.deadline_class,
+            f"{m.fps_target:g}",
+            m.frames,
+            f"{m.p50_ms:.1f}",
+            f"{m.p95_ms:.1f}",
+            f"{100 * m.deadline_miss_rate:.0f}%",
+            f"{m.achieved_fps:.1f}",
+        ]
+        for m in metrics.streams
+    ]
+    print(format_table(
+        ["stream", "class", "fps", "frames", "p50 ms", "p95 ms",
+         "miss", "ach fps"],
+        rows,
+        title="broadcast mix on SysHK — GPU_K drops out at round 6",
+    ))
+    print(
+        f"\naggregate p95 latency: {metrics.p95_ms:.1f} ms, "
+        f"deadline-miss rate: {100 * metrics.deadline_miss_rate:.0f}%"
+    )
+    print(
+        f"fault events observed across streams: {metrics.fault_events} "
+        f"(every session saw the dropout)"
+    )
+    util = ", ".join(
+        f"{name.split('.')[0]} {100 * u:.0f}%"
+        for name, u in metrics.device_utilization.items()
+    )
+    print(f"device utilization over the run: {util}")
+
+
+if __name__ == "__main__":
+    main()

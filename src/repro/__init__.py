@@ -15,6 +15,9 @@ Public API highlights
   and systems (SysNF, SysNFF, SysHK).
 - :mod:`repro.baselines` — single-device, equidistant multi-GPU, and
   ME-offload baselines the paper compares against.
+- :mod:`repro.service` — multi-stream encoding service: session
+  scheduling, admission control, and deadline-aware platform sharing on
+  top of the single-stream framework (CLI: ``repro serve``).
 """
 
 from repro.codec.config import CodecConfig
@@ -22,15 +25,19 @@ from repro.core.config import FrameworkConfig
 from repro.core.framework import FevesFramework
 from repro.hw.noise import FaultEvent, FaultSchedule
 from repro.hw.presets import get_platform, list_platforms
+from repro.service import EncodingService, ServiceConfig, StreamSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodecConfig",
+    "EncodingService",
     "FaultEvent",
     "FaultSchedule",
     "FrameworkConfig",
     "FevesFramework",
+    "ServiceConfig",
+    "StreamSpec",
     "get_platform",
     "list_platforms",
     "__version__",

@@ -23,49 +23,79 @@ from repro.hw.presets import get_platform, list_platforms
 from repro.report import ascii_series, format_table
 
 
+def _parse_fault_spec(flag: str, spec: str, kind: str, want_param: bool):
+    """Validate one ``DEV@FRAME[:X]`` token eagerly.
+
+    Every malformed field — missing separator, empty device, non-numeric
+    frame/parameter, or a value the fault model rejects (frame < 1,
+    factor < 1, hang without a positive duration) — exits with a message
+    naming the offending flag and token, never a bare traceback.
+    """
+    from repro.hw.noise import FaultEvent
+
+    expected = "DEV@FRAME" + (":PARAM" if want_param else "")
+
+    def bad(why: str) -> SystemExit:
+        return SystemExit(
+            f"error: bad {flag} spec {spec!r}: {why} (expected {expected})"
+        )
+
+    dev, at, rest = spec.partition("@")
+    if not at:
+        raise bad("missing '@'")
+    if not dev:
+        raise bad("empty device name")
+    param = None
+    if want_param:
+        frame_text, colon, param_text = rest.partition(":")
+        if not colon:
+            raise bad("missing ':PARAM'")
+        try:
+            param = float(param_text)
+        except ValueError:
+            raise bad(f"non-numeric parameter {param_text!r}") from None
+    else:
+        frame_text = rest
+        if ":" in frame_text:
+            raise bad("unexpected ':PARAM' (this fault takes none)")
+    try:
+        frame = int(frame_text)
+    except ValueError:
+        raise bad(f"non-integer frame {frame_text!r}") from None
+    kwargs: dict = {}
+    if kind == "hang":
+        kwargs["duration"] = int(param)
+    elif kind in ("degrade", "copy_fail"):
+        kwargs["factor"] = param
+    try:
+        return FaultEvent(frame=frame, device=dev, kind=kind, **kwargs)
+    except ValueError as exc:
+        raise bad(str(exc)) from None
+
+
+#: (argparse attribute, flag, fault kind, takes a :PARAM field)
+_FAULT_FLAGS = (
+    ("drop", "--drop", "dropout", False),
+    ("hang", "--hang", "hang", True),
+    ("degrade", "--degrade", "degrade", True),
+    ("copy_fail", "--copy-fail", "copy_fail", True),
+)
+
+
 def _fault_schedule(args: argparse.Namespace):
     """Build a FaultSchedule from the repeatable --drop/--hang/... flags.
 
     Formats: ``--drop DEV@FRAME``, ``--hang DEV@FRAME:DURATION``,
     ``--degrade DEV@FRAME:FACTOR``, ``--copy-fail DEV@FRAME:FACTOR``.
+    Specs are validated eagerly, before anything is constructed or run.
     """
-    from repro.hw.noise import FaultEvent, FaultSchedule
+    from repro.hw.noise import FaultSchedule
 
-    def split(spec: str, flag: str, want_param: bool):
-        try:
-            dev, rest = spec.split("@", 1)
-            if want_param:
-                frame, param = rest.split(":", 1)
-                return dev, int(frame), float(param)
-            return dev, int(rest), None
-        except ValueError:
-            raise SystemExit(
-                f"error: bad {flag} spec {spec!r} "
-                f"(expected DEV@FRAME{':PARAM' if want_param else ''})"
-            ) from None
-
-    events = []
-    try:
-        for spec in getattr(args, "drop", None) or []:
-            dev, frame, _ = split(spec, "--drop", False)
-            events.append(FaultEvent(frame=frame, device=dev, kind="dropout"))
-        for spec in getattr(args, "hang", None) or []:
-            dev, frame, dur = split(spec, "--hang", True)
-            events.append(
-                FaultEvent(frame=frame, device=dev, kind="hang", duration=int(dur))
-            )
-        for spec in getattr(args, "degrade", None) or []:
-            dev, frame, factor = split(spec, "--degrade", True)
-            events.append(
-                FaultEvent(frame=frame, device=dev, kind="degrade", factor=factor)
-            )
-        for spec in getattr(args, "copy_fail", None) or []:
-            dev, frame, factor = split(spec, "--copy-fail", True)
-            events.append(
-                FaultEvent(frame=frame, device=dev, kind="copy_fail", factor=factor)
-            )
-    except ValueError as exc:
-        raise SystemExit(f"error: {exc}") from None
+    events = [
+        _parse_fault_spec(flag, spec, kind, want_param)
+        for attr, flag, kind, want_param in _FAULT_FLAGS
+        for spec in getattr(args, attr, None) or []
+    ]
     return FaultSchedule(events)
 
 
@@ -160,6 +190,100 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         n = export_fault_log(fw.fault_log, args.fault_log)
         print(f"wrote {n} fault-log entries to {args.fault_log}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        EncodingService,
+        ServiceConfig,
+        build_workload,
+        parse_submit_specs,
+    )
+
+    faults = _fault_schedule(args)
+    if args.submit:
+        try:
+            workload = parse_submit_specs(args.submit)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    else:
+        try:
+            workload = build_workload(
+                n_streams=args.streams,
+                n_frames=args.frames,
+                fps_target=args.fps,
+                deadline_class=args.deadline_class,
+                mix=args.mix,
+                arrival_rate=args.arrival_rate,
+                seed=args.seed,
+                search_range=args.sa // 2,
+                num_ref_frames=args.refs,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    try:
+        service = EncodingService(
+            ServiceConfig(
+                platform=args.platform,
+                headroom=args.headroom,
+                max_queue=args.max_queue,
+                faults=faults,
+            )
+        )
+        metrics = service.run(workload)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+    rows = []
+    for m in metrics.streams:
+        rows.append([
+            m.stream_id,
+            m.deadline_class,
+            f"{m.fps_target:g}",
+            m.state,
+            m.frames,
+            f"{m.p50_ms:.1f}",
+            f"{m.p95_ms:.1f}",
+            f"{m.p99_ms:.1f}",
+            f"{100 * m.deadline_miss_rate:.1f}%",
+            f"{m.achieved_fps:.1f}",
+            f"{m.wait_s:.2f}",
+        ])
+    print(format_table(
+        ["stream", "class", "fps", "state", "frames",
+         "p50 ms", "p95 ms", "p99 ms", "miss", "ach fps", "wait s"],
+        rows,
+        title=(
+            f"{args.platform} — {len(metrics.streams)} streams, "
+            f"{metrics.rounds} rounds, {metrics.duration_s:.2f} s served"
+        ),
+    ))
+    adm = metrics.admission
+    print(
+        f"\naggregate: p50={metrics.p50_ms:.1f} ms  p95={metrics.p95_ms:.1f} ms  "
+        f"p99={metrics.p99_ms:.1f} ms  deadline-miss="
+        f"{100 * metrics.deadline_miss_rate:.1f}%"
+    )
+    print(
+        f"admission: {adm.get('admitted', 0)} admitted, "
+        f"{adm.get('queued', 0)} queued, {adm.get('rejected', 0)} rejected, "
+        f"{adm.get('completed', 0)} completed"
+    )
+    util = "  ".join(
+        f"{name.split('.')[0]}={100 * u:.0f}%"
+        for name, u in metrics.device_utilization.items()
+    )
+    print(f"device utilization: {util}")
+    if metrics.fault_events:
+        print(f"fault events observed across streams: {metrics.fault_events}")
+    if args.json:
+        service.export_metrics(args.json)
+        print(f"wrote metrics JSON to {args.json}")
+    if args.trace:
+        n = service.export_trace(args.trace)
+        print(f"wrote {n} trace events ({len(metrics.streams)} stream pids) "
+              f"to {args.trace}")
     return 0
 
 
@@ -283,6 +407,48 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-log", metavar="PATH",
                      help="write the per-frame fault/decision log as JSON")
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-stream encoding service on a shared platform",
+        description=(
+            "Serve N concurrent streams on one simulated platform: "
+            "admission control with a bounded wait queue, deadline-aware "
+            "capacity partitioning, and per-stream latency/deadline "
+            "metrics. Fault flags are indexed by service ROUND (one "
+            "co-scheduled frame across all active streams)."
+        ),
+    )
+    serve.add_argument("--platform", default="SysHK", choices=list_platforms())
+    serve.add_argument("--streams", type=int, default=4,
+                       help="number of streams in the generated workload")
+    serve.add_argument("--frames", type=int, default=30,
+                       help="inter frames per stream")
+    serve.add_argument("--fps", type=float, default=25.0,
+                       help="per-stream target fps (uniform mix)")
+    serve.add_argument("--deadline-class", default="standard",
+                       choices=("realtime", "standard", "background"))
+    serve.add_argument("--mix", default="uniform",
+                       choices=("uniform", "broadcast", "conference"),
+                       help="stream-mix preset cycled over the workload")
+    serve.add_argument("--arrival-rate", type=float, default=0.0,
+                       help="Poisson arrival rate in streams/s (0 = burst)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="arrival-process RNG seed")
+    serve.add_argument("--sa", type=int, default=32, help="search-area side")
+    serve.add_argument("--refs", type=int, default=1)
+    serve.add_argument("--headroom", type=float, default=1.0,
+                       help="admission ceiling on committed capacity fraction")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="bounded wait-queue length (beyond = reject)")
+    serve.add_argument("--submit", action="append", metavar="AT:FPS:FRAMES[:CLASS]",
+                       help="scripted submission (repeatable; replaces --streams)")
+    serve.add_argument("--json", metavar="PATH",
+                       help="write per-stream + aggregate metrics as JSON")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace, one pid per stream")
+    _add_fault_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     sweep = sub.add_parser("sweep", help="regenerate a Fig. 6 table")
     sweep.add_argument("--what", choices=("sa", "refs"), default="sa")

@@ -176,9 +176,11 @@ class VideoCodingManager:
         redo_sme: list[tuple[int, tuple[int, int], int]] = []
 
         def scale(dev_name: str) -> float:
-            # Load noise plus any active compute degradation: both are
-            # *measured* by the characterization, never reported to it.
-            fault = self.platform.device(dev_name).fault_compute_scale
+            # Load noise, active compute degradation, and the session's
+            # multi-stream capacity share: all three are *measured* by the
+            # characterization, never reported to it.
+            dev = self.platform.device(dev_name)
+            fault = dev.fault_compute_scale * dev.share_scale
             return noise.scale(frame_index, dev_name) * fault
 
         # ------------------------- phase 1 ----------------------------------

@@ -178,10 +178,17 @@ class FevesFramework:
         """
         if n_inter_frames < 1:
             raise ValueError("need at least one inter frame")
-        out = []
-        for _ in range(n_inter_frames):
-            out.append(self._encode_inter(None))
-        return out
+        return [self.encode_next_inter() for _ in range(n_inter_frames)]
+
+    def encode_next_inter(self) -> FrameOutcome:
+        """Encode one more inter frame in model mode (stepping API).
+
+        Exactly one iteration of :meth:`run_model`'s loop. The
+        multi-stream service layer uses this to interleave frames of many
+        sessions on a shared platform: it adjusts each device's capacity
+        share between calls and advances one frame at a time.
+        """
+        return self._encode_inter(None)
 
     # ------------------------- real mode --------------------------------------
 

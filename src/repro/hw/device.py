@@ -72,6 +72,7 @@ class Device:
     copy_d2h: Resource | None = field(init=False, default=None)
     fault_compute_scale: float = field(init=False, default=1.0)
     fault_copy_scale: float = field(init=False, default=1.0)
+    share_scale: float = field(init=False, default=1.0)
 
     def __post_init__(self) -> None:
         self.compute = Resource(name=f"{self.spec.name}.compute")
@@ -111,14 +112,35 @@ class Device:
         self.fault_compute_scale = compute
         self.fault_copy_scale = copy
 
+    def set_capacity_share(self, share: float) -> None:
+        """Grant this device's engines a fractional capacity share.
+
+        ``share`` ∈ (0, 1] is the slice of compute *and* copy throughput
+        one encoding session may use while the platform is time-shared
+        between streams (processor-sharing model): every simulated
+        duration stretches by ``1/share``. Like fault degradation, the
+        scale is measured by the Performance Characterization — a session
+        granted 50% of a device simply observes a device half as fast and
+        its LP redistributes accordingly. ``share=1`` (the default) is an
+        exact no-op, keeping single-session runs bit-identical.
+        """
+        if not 0.0 < share <= 1.0:
+            raise ValueError(f"capacity share must be in (0, 1], got {share}")
+        self.share_scale = 1.0 / share
+
     def transfer_s(self, nbytes: float, direction: str) -> float:
         """Simulated transfer time over this device's link (0 for CPU).
 
         Includes the current ``fault_copy_scale`` (copy-engine
-        degradation), so every planned transfer — and therefore every
-        bandwidth the characterization measures — reflects the fault.
+        degradation) and the session's ``share_scale`` (multi-stream
+        time-sharing), so every planned transfer — and therefore every
+        bandwidth the characterization measures — reflects both.
         """
         if not self.spec.is_accelerator:
             return 0.0
         assert self.spec.link is not None
-        return self.spec.link.transfer_s(nbytes, direction) * self.fault_copy_scale
+        return (
+            self.spec.link.transfer_s(nbytes, direction)
+            * self.fault_copy_scale
+            * self.share_scale
+        )

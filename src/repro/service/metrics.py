@@ -1,0 +1,177 @@
+"""Per-stream and aggregate service metrics.
+
+Frame latency is measured capture-to-completion on the service clock; a
+frame misses its deadline when it completes after
+``capture + budget_factor × period`` (background streams have no
+deadline and never miss). Device utilization is genuine device-seconds —
+each session's busy time weighted by the capacity share it held — over
+the service run duration, so utilizations stay ≤ 1 no matter how many
+sessions time-share an engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.session import EncodingSession
+
+
+def latency_percentiles_ms(latencies_s: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of a latency sample, in milliseconds."""
+    if not latencies_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(latencies_s) * 1e3
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+@dataclass(frozen=True)
+class StreamMetrics:
+    """Headline numbers of one stream's run through the service."""
+
+    stream_id: str
+    deadline_class: str
+    fps_target: float
+    state: str
+    frames: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    deadline_miss_rate: float
+    achieved_fps: float
+    wait_s: float
+    fault_events: int
+
+    @classmethod
+    def from_session(cls, session: EncodingSession) -> "StreamMetrics":
+        recs = session.records
+        lat = latency_percentiles_ms([r.latency_s for r in recs])
+        missable = [r for r in recs if not math.isinf(r.deadline_s)]
+        miss = (
+            sum(1 for r in missable if r.missed) / len(missable)
+            if missable
+            else 0.0
+        )
+        achieved = 0.0
+        if recs and session.admitted_s is not None:
+            span = recs[-1].end_s - session.admitted_s
+            if span > 0:
+                achieved = len(recs) / span
+        return cls(
+            stream_id=session.stream_id,
+            deadline_class=session.spec.deadline_class,
+            fps_target=session.spec.fps_target,
+            state=session.state,
+            frames=len(recs),
+            p50_ms=lat["p50"],
+            p95_ms=lat["p95"],
+            p99_ms=lat["p99"],
+            deadline_miss_rate=miss,
+            achieved_fps=achieved,
+            wait_s=session.wait_s,
+            fault_events=sum(1 for e in session.framework.fault_log if e.eventful),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stream_id": self.stream_id,
+            "deadline_class": self.deadline_class,
+            "fps_target": self.fps_target,
+            "state": self.state,
+            "frames": self.frames,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "achieved_fps": self.achieved_fps,
+            "wait_s": self.wait_s,
+            "fault_events": self.fault_events,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Aggregate outcome of one service run."""
+
+    platform: str
+    duration_s: float
+    rounds: int
+    streams: tuple[StreamMetrics, ...]
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    deadline_miss_rate: float
+    admission: dict[str, int] = field(default_factory=dict)
+    device_utilization: dict[str, float] = field(default_factory=dict)
+    fault_events: int = 0
+
+    @classmethod
+    def collect(
+        cls,
+        platform: str,
+        duration_s: float,
+        rounds: int,
+        sessions: list[EncodingSession],
+        admission_counts: dict[str, int],
+    ) -> "ServiceMetrics":
+        streams = tuple(StreamMetrics.from_session(s) for s in sessions)
+        all_lat: list[float] = []
+        missable = 0
+        missed = 0
+        busy: dict[str, float] = {}
+        for s in sessions:
+            for r in s.records:
+                all_lat.append(r.latency_s)
+                if not math.isinf(r.deadline_s):
+                    missable += 1
+                    missed += int(r.missed)
+                for res, t in r.busy_device_s.items():
+                    busy[res] = busy.get(res, 0.0) + t
+        lat = latency_percentiles_ms(all_lat)
+        # Per-device utilization: fold a device's engines (compute + copy)
+        # into the compute-engine figure most dashboards care about.
+        util = {
+            res: (t / duration_s if duration_s > 0 else 0.0)
+            for res, t in sorted(busy.items())
+            if res.endswith(".compute")
+        }
+        return cls(
+            platform=platform,
+            duration_s=duration_s,
+            rounds=rounds,
+            streams=streams,
+            p50_ms=lat["p50"],
+            p95_ms=lat["p95"],
+            p99_ms=lat["p99"],
+            deadline_miss_rate=(missed / missable) if missable else 0.0,
+            admission=dict(admission_counts),
+            device_utilization=util,
+            fault_events=sum(m.fault_events for m in streams),
+        )
+
+    def stream(self, stream_id: str) -> StreamMetrics:
+        for m in self.streams:
+            if m.stream_id == stream_id:
+                return m
+        raise KeyError(f"no stream {stream_id!r} in metrics")
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "duration_s": self.duration_s,
+            "rounds": self.rounds,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "admission": dict(self.admission),
+            "device_utilization": dict(self.device_utilization),
+            "fault_events": self.fault_events,
+            "streams": [m.to_dict() for m in self.streams],
+        }

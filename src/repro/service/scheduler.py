@@ -1,0 +1,88 @@
+"""Deadline-aware capacity partitioning across admitted sessions.
+
+Each scheduling round, every session with a captured-but-unencoded frame
+receives a share of the platform. The share is proportional to
+
+    w_i = class_weight_i × demand_i × boost(slack_i / period_i)
+
+where ``demand_i`` is the stream's work rate (MB rows per second —
+heavier streams need proportionally more of the platform to hit the same
+fps), ``class_weight`` comes from the stream's deadline class
+(realtime > standard > background), and the *slack boost* bends capacity
+toward streams about to miss:
+
+    boost(r) = clamp(2 − r, boost_min, boost_max)
+
+with ``r`` the slack ratio — time remaining until the next frame's
+deadline, in frame periods. A stream whose deadline is imminent (r → 0)
+doubles its weight; one already past its deadline (r < 0) grows up to
+``boost_max``; one comfortably ahead (r ≥ 2, and background streams with
+no deadline at all) floors at ``boost_min``. Shares are the normalized
+weights, floored at ``min_share`` so no active stream is starved
+outright; a single active stream always receives exactly 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.service.session import EncodingSession
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Co-scheduler tunables (see module docstring for the formula)."""
+
+    boost_min: float = 0.25
+    boost_max: float = 4.0
+    min_share: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0 < self.boost_min <= self.boost_max:
+            raise ValueError(
+                f"need 0 < boost_min <= boost_max, got "
+                f"{self.boost_min}/{self.boost_max}"
+            )
+        if not 0 < self.min_share <= 1.0:
+            raise ValueError(f"min_share must be in (0, 1], got {self.min_share}")
+
+
+class CoScheduler:
+    """Partitions platform capacity across active sessions each round."""
+
+    def __init__(self, cfg: SchedulerConfig | None = None) -> None:
+        self.cfg = cfg or SchedulerConfig()
+
+    def boost(self, slack_ratio: float) -> float:
+        return max(self.cfg.boost_min, min(self.cfg.boost_max, 2.0 - slack_ratio))
+
+    def weight(self, session: EncodingSession, now: float) -> float:
+        spec = session.spec
+        demand = spec.fps_target * spec.codec_config().mb_rows
+        deadline = session.deadline_for(session.next_capture_s())
+        if math.isinf(deadline):
+            slack_ratio = math.inf  # no deadline: boost floors at boost_min
+        else:
+            slack_ratio = (deadline - now) / spec.period_s
+        return spec.klass.weight * demand * self.boost(slack_ratio)
+
+    def partition(
+        self, sessions: list[EncodingSession], now: float
+    ) -> dict[str, float]:
+        """Capacity share per stream id; shares sum to 1."""
+        if not sessions:
+            return {}
+        if len(sessions) == 1:
+            # Exact 1.0, bit-identical to a dedicated platform.
+            return {sessions[0].stream_id: 1.0}
+        weights = {s.stream_id: self.weight(s, now) for s in sessions}
+        total = sum(weights.values())
+        shares = {sid: w / total for sid, w in weights.items()}
+        # Starvation floor, then one renormalization pass (approximate by
+        # design: with min_share ≪ 1/n the floor rarely binds).
+        floored = {
+            sid: max(self.cfg.min_share, sh) for sid, sh in shares.items()
+        }
+        norm = sum(floored.values())
+        return {sid: sh / norm for sid, sh in floored.items()}

@@ -1,0 +1,224 @@
+"""The multi-stream encoding service: event loop and platform sharing.
+
+The service multiplexes N concurrent encoding sessions onto one shared
+simulated platform:
+
+1. **Arrivals** — an open-loop workload (:mod:`repro.service.workload`)
+   delivers :class:`~repro.service.session.StreamSpec` submissions at
+   their arrival times.
+2. **Admission** — :class:`~repro.service.admission.AdmissionController`
+   accepts a stream while the platform has uncommitted capacity, parks it
+   in a bounded wait queue under pressure, and rejects it when the queue
+   overflows.
+3. **Co-scheduling** — each round, every admitted session with a captured
+   frame receives a deadline-slack-weighted share of the platform
+   (:class:`~repro.service.scheduler.CoScheduler`); the session encodes
+   one frame through its own FEVES framework at that share, composing the
+   paper's intra-frame LP distribution with inter-stream sharing.
+4. **Faults** — the service-level :class:`~repro.hw.noise.FaultSchedule`
+   is indexed by *service round*. Every session observes the same
+   dropout/hang/degradation in the same round through its
+   :class:`~repro.service.session.SessionFaultView`, and each session's
+   framework evicts, rebalances onto survivors, and later re-admits
+   exactly as in single-stream operation — service-wide rebalancing for
+   free. Admission capacity shrinks with the live set, throttling new
+   streams while the platform is degraded.
+
+Rounds are variable-length: a round starts at the service clock ``now``,
+all active sessions encode concurrently (processor sharing), and the
+clock advances by the slowest session's frame time. With a single active
+session (share exactly 1.0) the schedule and all encoder decisions are
+bit-identical to a standalone ``repro run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.hw.noise import FaultSchedule
+from repro.hw.presets import get_platform
+from repro.service.admission import AdmissionController, CapacityModel
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import CoScheduler, SchedulerConfig
+from repro.service.session import EncodingSession, StreamSpec
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the encoding service (not of individual streams).
+
+    Parameters
+    ----------
+    platform:
+        Shared platform preset name (each session gets a fresh instance
+        of it; capacity shares model the time-sharing).
+    headroom:
+        Admission ceiling on the committed platform fraction (1.0 =
+        commit up to nominal capacity; < 1 keeps slack for load spikes,
+        > 1 oversubscribes deliberately).
+    max_queue:
+        Bounded wait-queue length; arrivals beyond it are rejected
+        (backpressure).
+    faults:
+        Device-fault schedule indexed by *service round* (not per-stream
+        frame index). All sessions observe each fault simultaneously.
+    scheduler:
+        Co-scheduler weighting knobs.
+    max_rounds:
+        Safety valve against runaway loops (raise RuntimeError beyond).
+    """
+
+    platform: str = "SysHK"
+    headroom: float = 1.0
+    max_queue: int = 8
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    max_rounds: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.headroom <= 0:
+            raise ValueError(f"headroom must be > 0, got {self.headroom}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+class EncodingService:
+    """Event-driven multi-stream encoding service on one shared platform."""
+
+    def __init__(self, cfg: ServiceConfig | None = None) -> None:
+        self.cfg = cfg or ServiceConfig()
+        self.template = get_platform(self.cfg.platform)
+        for name in self.cfg.faults.devices():
+            self.template.device(name)  # raises on unknown device
+        self.capacity = CapacityModel(self.template)
+        self.admission = AdmissionController(
+            self.capacity,
+            headroom=self.cfg.headroom,
+            max_queue=self.cfg.max_queue,
+        )
+        self.scheduler = CoScheduler(self.cfg.scheduler)
+        self.sessions: list[EncodingSession] = []
+        self.now = 0.0
+        self.rounds = 0
+        self._metrics: ServiceMetrics | None = None
+
+    # ------------------------------------------------------------------
+
+    def live_devices(self, round_idx: int) -> frozenset[str]:
+        """Devices not held down by a fault at a service round."""
+        return frozenset(
+            d.name
+            for d in self.template.devices
+            if self.cfg.faults.down(round_idx, d.name) is None
+        )
+
+    def _submit(self, spec: StreamSpec, live: frozenset[str]) -> EncodingSession:
+        session = EncodingSession(
+            spec, self.cfg.platform, faults=self.cfg.faults
+        )
+        self.sessions.append(session)
+        self.admission.offer(session, self.now, live)
+        return session
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: list[StreamSpec]) -> ServiceMetrics:
+        """Serve a complete workload to completion; returns the metrics."""
+        pending = sorted(workload, key=lambda s: (s.arrival_s, s.stream_id))
+        i = 0
+        while True:
+            round_idx = self.rounds + 1
+            if round_idx > self.cfg.max_rounds:
+                raise RuntimeError(
+                    f"service exceeded max_rounds={self.cfg.max_rounds}"
+                )
+            live = self.live_devices(round_idx)
+
+            # Arrivals due by now, then queue drain against current capacity.
+            while i < len(pending) and pending[i].arrival_s <= self.now + 1e-12:
+                self._submit(pending[i], live)
+                i += 1
+            self.admission.drain(self.now, live)
+
+            active = [
+                s for s in self.admission.running if s.has_pending(self.now)
+            ]
+            if not active:
+                # Idle: jump the clock to the next event (frame capture of
+                # a running session, or the next arrival).
+                events = [
+                    s.next_capture_s()
+                    for s in self.admission.running
+                    if not s.done
+                ]
+                if i < len(pending):
+                    events.append(pending[i].arrival_s)
+                if not events:
+                    break  # workload fully served
+                self.now = max(self.now, min(events))
+                continue
+
+            shares = self.scheduler.partition(active, self.now)
+            round_dur = 0.0
+            for s in active:
+                rec = s.step(self.now, shares[s.stream_id], round_idx)
+                round_dur = max(round_dur, rec.tau_s)
+            for s in active:
+                if s.done:
+                    self.admission.release(s)
+            self.now += round_dur
+            self.rounds += 1
+
+        self._metrics = ServiceMetrics.collect(
+            platform=self.cfg.platform,
+            duration_s=self.now,
+            rounds=self.rounds,
+            sessions=self.sessions,
+            admission_counts=self.admission.counts,
+        )
+        return self._metrics
+
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        if self._metrics is None:
+            raise RuntimeError("nothing served yet; call run() first")
+        return self._metrics
+
+    def export_metrics(self, path: str | Path) -> None:
+        """Write the service metrics as JSON."""
+        import json
+
+        Path(path).write_text(json.dumps(self.metrics.to_dict(), indent=1))
+
+    def export_trace(self, path: str | Path) -> int:
+        """Write a Chrome trace with one process (pid) per stream.
+
+        Each session's frame timelines land at their absolute service
+        start times, and the session's fault log contributes per-stream
+        instant events — a device dropout is visible simultaneously in
+        every stream's row. Returns the number of duration events.
+        """
+        from repro.hw.trace_export import StreamTrace, export_stream_traces
+
+        traces = []
+        for pid, session in enumerate(self.sessions, start=1):
+            frames = [
+                (session.framework.reports[r.index - 1].timeline, r.start_s)
+                for r in session.records
+            ]
+            traces.append(
+                StreamTrace(
+                    pid=pid,
+                    name=(
+                        f"{session.stream_id} "
+                        f"({session.spec.deadline_class}, "
+                        f"{session.spec.fps_target:g} fps)"
+                    ),
+                    frames=frames,
+                    fault_log=session.framework.fault_log,
+                )
+            )
+        return export_stream_traces(traces, path)

@@ -1,0 +1,146 @@
+"""Workload construction: arrival processes and stream-mix presets.
+
+The service front-end drives an open-loop arrival process: streams arrive
+at times drawn from a Poisson process (or all at once for a burst), each
+stamped from a *mix* template cycling through stream shapes — resolution,
+target fps, reference count, and deadline class. Scripted workloads
+(``repro serve --submit AT:FPS:FRAMES[:CLASS]``) bypass the generator for
+reproducible scenario tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.service.session import DEADLINE_CLASSES, StreamSpec
+
+#: Stream-mix presets: each entry is a cycle of template kwargs layered
+#: over the CLI/service defaults. ``uniform`` keeps every stream at the
+#: caller's defaults; ``broadcast`` mixes a realtime contribution feed
+#: with standard VOD channels and a background transcode; ``conference``
+#: is many small low-latency tiles.
+STREAM_MIXES: dict[str, tuple[dict[str, Any], ...]] = {
+    "uniform": ({},),
+    "broadcast": (
+        {"fps_target": 30.0, "deadline_class": "realtime"},
+        {"fps_target": 25.0, "deadline_class": "standard"},
+        {"fps_target": 25.0, "deadline_class": "standard"},
+        {
+            "fps_target": 15.0,
+            "deadline_class": "background",
+            "search_range": 24,
+            "num_ref_frames": 2,
+        },
+    ),
+    "conference": (
+        {
+            "fps_target": 30.0,
+            "deadline_class": "realtime",
+            "width": 640,
+            "height": 368,
+            "search_range": 8,
+        },
+    ),
+}
+
+
+def poisson_arrivals(n: int, rate: float, seed: int = 0) -> list[float]:
+    """Arrival times of ``n`` streams from a Poisson process.
+
+    ``rate`` is in streams/second; ``rate <= 0`` degenerates to a burst
+    (everything arrives at t = 0). Deterministic for a given seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rate <= 0:
+        return [0.0] * n
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=n)
+    return np.cumsum(gaps).tolist()
+
+
+def build_workload(
+    n_streams: int,
+    n_frames: int = 30,
+    fps_target: float = 25.0,
+    deadline_class: str = "standard",
+    mix: str = "uniform",
+    arrival_rate: float = 0.0,
+    seed: int = 0,
+    width: int = 1920,
+    height: int = 1088,
+    search_range: int = 16,
+    num_ref_frames: int = 1,
+) -> list[StreamSpec]:
+    """Generate an open-loop workload of ``n_streams`` streams."""
+    try:
+        templates = STREAM_MIXES[mix]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {mix!r}; available: {sorted(STREAM_MIXES)}"
+        ) from None
+    arrivals = poisson_arrivals(n_streams, arrival_rate, seed)
+    specs = []
+    for i in range(n_streams):
+        base = dict(
+            fps_target=fps_target,
+            deadline_class=deadline_class,
+            width=width,
+            height=height,
+            search_range=search_range,
+            num_ref_frames=num_ref_frames,
+        )
+        base.update(templates[i % len(templates)])
+        specs.append(
+            StreamSpec(
+                stream_id=f"s{i:02d}",
+                n_frames=n_frames,
+                arrival_s=arrivals[i],
+                **base,
+            )
+        )
+    return specs
+
+
+def parse_submit_spec(text: str, index: int = 0) -> StreamSpec:
+    """Parse one ``--submit AT:FPS:FRAMES[:CLASS]`` token.
+
+    Raises ``ValueError`` naming the offending token on any malformed
+    field, so the CLI can surface it eagerly.
+    """
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"bad submit spec {text!r} (expected AT:FPS:FRAMES[:CLASS])"
+        )
+    try:
+        at = float(parts[0])
+        fps = float(parts[1])
+        frames = int(parts[2])
+    except ValueError:
+        raise ValueError(
+            f"bad submit spec {text!r}: non-numeric AT/FPS/FRAMES field"
+        ) from None
+    klass = parts[3] if len(parts) == 4 else "standard"
+    if klass not in DEADLINE_CLASSES:
+        raise ValueError(
+            f"bad submit spec {text!r}: unknown class {klass!r} "
+            f"(expected one of {sorted(DEADLINE_CLASSES)})"
+        )
+    try:
+        return StreamSpec(
+            stream_id=f"s{index:02d}",
+            fps_target=fps,
+            n_frames=frames,
+            deadline_class=klass,
+            arrival_s=at,
+        )
+    except ValueError as exc:
+        raise ValueError(f"bad submit spec {text!r}: {exc}") from None
+
+
+def parse_submit_specs(texts: Iterable[str]) -> list[StreamSpec]:
+    """Parse all ``--submit`` tokens into a scripted workload."""
+    return [parse_submit_spec(t, index=i) for i, t in enumerate(texts)]

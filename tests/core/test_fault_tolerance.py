@@ -189,6 +189,58 @@ class TestHangRecovery:
         )
 
 
+class TestReadmissionSteadyState:
+    """A recovered device must rejoin and converge to the clean optimum."""
+
+    def test_recovery_mid_gop_restores_clean_distribution(self):
+        """Warm-up grant on re-admission, then clean steady state.
+
+        A device hangs mid-GOP with its characterization cleared — the
+        worst-case recovery (no priors). On the re-admission frame the
+        decision grants exactly the configured warm-up rows; once
+        re-measured, the steady-state work distribution matches a
+        never-faulted run row for row.
+        """
+        frames = 16
+        fw, outcomes = run_with_faults(
+            "SysNFF",
+            [
+                FaultEvent(
+                    frame=5,
+                    device="GPU_F2",
+                    kind="hang",
+                    duration=2,
+                    clear_characterization=True,
+                )
+            ],
+            frames,
+        )
+        assert len(outcomes) == frames
+
+        # re-admission is logged mid-GOP, and that frame's decision is the
+        # warm-up grant for the un-characterized device
+        readmit = [e for e in fw.fault_log if e.readmitted]
+        assert len(readmit) == 1
+        r = readmit[0].frame_index
+        assert 1 < r < frames
+        idx = [d.name for d in fw.platform.devices].index("GPU_F2")
+        grant = fw.reports[r - 1].decision
+        assert grant.m.rows[idx] == fw.fw_cfg.warmup_rows
+        assert grant.s.rows[idx] == fw.fw_cfg.warmup_rows
+
+        clean = FevesFramework(get_platform("SysNFF"), CFG, FrameworkConfig())
+        clean.run_model(frames)
+        recovered = fw.reports[-1].decision
+        reference = clean.reports[-1].decision
+        for module in ("m", "l", "s"):
+            got = getattr(recovered, module).rows
+            want = getattr(reference, module).rows
+            assert got == want, f"{module} rows diverged: {got} != {want}"
+        assert fw.reports[-1].tau_tot == pytest.approx(
+            clean.reports[-1].tau_tot, rel=0.02
+        )
+
+
 class TestDegradation:
     def test_degrade_shifts_rows_off_device(self):
         fw, _ = run_with_faults(

@@ -8,7 +8,13 @@ from repro.codec.config import CodecConfig
 from repro.core.config import FrameworkConfig
 from repro.core.framework import FevesFramework
 from repro.hw.presets import get_platform
-from repro.hw.trace_export import export_chrome_trace, timeline_to_events
+from repro.hw.trace_export import (
+    StreamTrace,
+    export_chrome_trace,
+    export_stream_traces,
+    resource_tids,
+    timeline_to_events,
+)
 
 CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
 
@@ -62,6 +68,95 @@ class TestTraceExport:
         assert not any(
             e["ph"] == "X" and e["name"] in ("tau1", "tau2") for e in events
         )
+
+
+class TestStreamNamespacing:
+    def test_resource_tids_stable_over_union(self, faulted_fw):
+        # the post-fault frames miss GPU_F2's engines; the union mapping
+        # must still give every resource one stable tid across all frames
+        tls = [r.timeline for r in faulted_fw.reports]
+        tids = resource_tids(tls)
+        assert any(res.startswith("GPU_F2") for res in tids)
+        assert sorted(tids.values()) == list(range(1, len(tids) + 1))
+        per_frame = [resource_tids([tl]) for tl in tls]
+        # without the union, the per-frame mappings disagree after eviction
+        assert any(m != tids for m in per_frame)
+
+    def test_custom_pid_propagates(self, timelines):
+        events = timeline_to_events(timelines[0], pid=7)
+        assert {e["pid"] for e in events} == {7}
+
+    def test_stream_arg_tagged(self, timelines):
+        tids = resource_tids(timelines)
+        events = timeline_to_events(timelines[0], tids=tids, stream="cam0")
+        assert events  # no metadata when tids provided
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["args"]["stream"] == "cam0" for e in events)
+
+    def test_export_stream_traces_one_pid_per_stream(self, timelines, tmp_path):
+        path = tmp_path / "multi.json"
+        streams = [
+            StreamTrace(
+                pid=i + 1,
+                name=f"stream-{i}",
+                frames=[(tl, 0.05 * i + 0.1 * j) for j, tl in enumerate(timelines)],
+            )
+            for i in range(3)
+        ]
+        n = export_stream_traces(streams, path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == n
+        assert {e["pid"] for e in xs} == {1, 2, 3}
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        assert names == {1: "stream-0", 2: "stream-1", 3: "stream-2"}
+        sorts = [e for e in events if e.get("name") == "process_sort_index"]
+        assert {e["args"]["sort_index"] for e in sorts} == {1, 2, 3}
+        # thread metadata is emitted per pid
+        thread_meta = [e for e in events if e.get("name") == "thread_name"]
+        assert {e["pid"] for e in thread_meta} == {1, 2, 3}
+
+    def test_stream_frames_land_at_absolute_times(self, timelines, tmp_path):
+        path = tmp_path / "multi.json"
+        start = 1.25
+        export_stream_traces(
+            [StreamTrace(pid=1, name="s", frames=[(timelines[0], start)])],
+            path,
+        )
+        xs = [
+            e
+            for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert min(e["ts"] for e in xs) >= start * 1e6
+
+    def test_per_stream_fault_instants_are_process_scoped(
+        self, faulted_fw, tmp_path
+    ):
+        path = tmp_path / "multi.json"
+        frames = [(r.timeline, 0.1 * i) for i, r in enumerate(faulted_fw.reports)]
+        export_stream_traces(
+            [
+                StreamTrace(
+                    pid=4, name="s", frames=frames,
+                    fault_log=faulted_fw.fault_log,
+                )
+            ],
+            path,
+        )
+        instants = [
+            e
+            for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["pid"] == 4
+        assert instants[0]["s"] == "p"  # scoped to the stream's process
 
 
 @pytest.fixture(scope="module")

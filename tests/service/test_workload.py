@@ -1,0 +1,90 @@
+"""Workload generation: arrivals, mixes, scripted submissions."""
+
+import pytest
+
+from repro.service.workload import (
+    STREAM_MIXES,
+    build_workload,
+    parse_submit_spec,
+    parse_submit_specs,
+    poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_burst_at_zero_rate(self):
+        assert poisson_arrivals(4, 0.0) == [0.0] * 4
+
+    def test_deterministic_and_increasing(self):
+        a = poisson_arrivals(10, 2.0, seed=7)
+        b = poisson_arrivals(10, 2.0, seed=7)
+        assert a == b
+        assert all(x < y for x, y in zip(a, a[1:]))
+        assert poisson_arrivals(10, 2.0, seed=8) != a
+
+    def test_rate_sets_mean_gap(self):
+        a = poisson_arrivals(2000, 4.0, seed=1)
+        mean_gap = a[-1] / len(a)
+        assert mean_gap == pytest.approx(0.25, rel=0.1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, 1.0)
+
+
+class TestBuildWorkload:
+    def test_uniform_defaults(self):
+        wl = build_workload(3, n_frames=12, fps_target=30.0)
+        assert [s.stream_id for s in wl] == ["s00", "s01", "s02"]
+        assert all(s.n_frames == 12 and s.fps_target == 30.0 for s in wl)
+        assert all(s.arrival_s == 0.0 for s in wl)
+
+    def test_broadcast_mix_cycles(self):
+        wl = build_workload(5, mix="broadcast")
+        classes = [s.deadline_class for s in wl]
+        assert classes == [
+            "realtime", "standard", "standard", "background", "realtime",
+        ]
+        assert wl[3].num_ref_frames == 2  # background transcode template
+
+    def test_conference_mix_shrinks_frames(self):
+        wl = build_workload(2, mix="conference")
+        assert all(s.width == 640 and s.deadline_class == "realtime" for s in wl)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            build_workload(2, mix="nope")
+
+    def test_arrival_rate_staggers(self):
+        wl = build_workload(4, arrival_rate=2.0, seed=3)
+        arrivals = [s.arrival_s for s in wl]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+
+    def test_all_mixes_produce_valid_specs(self):
+        for mix in STREAM_MIXES:
+            wl = build_workload(len(STREAM_MIXES[mix]) * 2, mix=mix)
+            assert len(wl) == len(STREAM_MIXES[mix]) * 2
+
+
+class TestSubmitSpecs:
+    def test_basic_and_classed(self):
+        spec = parse_submit_spec("1.5:30:20", index=3)
+        assert spec.stream_id == "s03"
+        assert (spec.arrival_s, spec.fps_target, spec.n_frames) == (1.5, 30.0, 20)
+        assert spec.deadline_class == "standard"
+        rt = parse_submit_spec("0:25:10:realtime")
+        assert rt.deadline_class == "realtime"
+
+    def test_parse_many(self):
+        specs = parse_submit_specs(["0:25:10", "2:30:5:background"])
+        assert [s.stream_id for s in specs] == ["s00", "s01"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["0:25", "0:25:10:gold:extra", "x:25:10", "0:25:ten", "0:25:10:gold",
+         "0:-5:10", "0:25:0"],
+    )
+    def test_malformed_names_token(self, bad):
+        with pytest.raises(ValueError, match="bad submit spec"):
+            parse_submit_spec(bad)

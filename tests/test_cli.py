@@ -103,3 +103,82 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "--platform", "SysNFF", "--frames", "5",
                   "--hang", "GPU_F2@3"])
+
+    @pytest.mark.parametrize(
+        "flag,spec,why",
+        [
+            ("--drop", "GPU_F2", "missing '@'"),
+            ("--drop", "@4", "empty device name"),
+            ("--drop", "GPU_F2@four", "non-integer frame"),
+            ("--drop", "GPU_F2@4:2", "unexpected ':PARAM'"),
+            ("--hang", "GPU_F2@3", "missing ':PARAM'"),
+            ("--hang", "GPU_F2@3:x", "non-numeric parameter"),
+            ("--degrade", "GPU_F2@3:", "non-numeric parameter"),
+            ("--degrade", "GPU_F2@0:2", "frame must be >= 1"),
+            ("--copy-fail", "GPU_F2@3:0.5", "fault factor must be >= 1"),
+        ],
+    )
+    def test_fault_spec_error_names_token(self, flag, spec, why, capsys):
+        """Malformed fault specs fail eagerly, naming the offending token."""
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--platform", "SysNFF", "--frames", "5", flag, spec])
+        msg = str(exc.value)
+        assert repr(spec) in msg       # the offending token, quoted
+        assert flag in msg             # which flag it came from
+        assert why in msg              # what is wrong with it
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_reports_per_stream_metrics(self, capsys):
+        rc = main(["serve", "--streams", "3", "--frames", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for col in ("p50 ms", "p95 ms", "p99 ms", "miss", "wait s"):
+            assert col in out
+        assert "s00" in out and "s02" in out
+        assert "aggregate:" in out and "deadline-miss=" in out
+        assert "admission: 3 admitted" in out
+        assert "device utilization:" in out
+
+    def test_serve_exports_json_and_trace(self, tmp_path, capsys):
+        mpath, tpath = tmp_path / "m.json", tmp_path / "t.json"
+        rc = main([
+            "serve", "--streams", "2", "--frames", "3",
+            "--json", str(mpath), "--trace", str(tpath),
+        ])
+        assert rc == 0
+        import json
+
+        metrics = json.loads(mpath.read_text())
+        assert len(metrics["streams"]) == 2
+        assert metrics["rounds"] > 0
+        trace = json.loads(tpath.read_text())
+        assert {e["pid"] for e in trace["traceEvents"]} == {1, 2}
+
+    def test_serve_submit_scripted_workload(self, capsys):
+        rc = main([
+            "serve",
+            "--submit", "0:25:3:realtime",
+            "--submit", "0.1:15:2:background",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "realtime" in out and "background" in out
+
+    def test_serve_bad_submit_names_token(self):
+        with pytest.raises(SystemExit, match="0:25:ten"):
+            main(["serve", "--submit", "0:25:ten"])
+
+    def test_serve_with_dropout_shows_fault(self, capsys):
+        rc = main([
+            "serve", "--streams", "2", "--frames", "4",
+            "--drop", "GPU_K@2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault events observed across streams: 2" in out
+
+    def test_serve_unknown_fault_device_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--streams", "2", "--drop", "nope@2"])

@@ -63,6 +63,13 @@ class TestExamples:
         assert "2-device steady state" in out
         assert "post-dropout frame time" in out
 
+    def test_multi_stream_service(self, capsys):
+        run_example("multi_stream_service")
+        out = capsys.readouterr().out
+        assert "broadcast mix on SysHK" in out
+        assert "deadline-miss rate" in out
+        assert "every session saw the dropout" in out
+
     def test_streaming_pipeline(self, capsys):
         run_example("streaming_pipeline")
         out = capsys.readouterr().out
