@@ -18,6 +18,9 @@ Public API highlights
 - :mod:`repro.service` — multi-stream encoding service: session
   scheduling, admission control, and deadline-aware platform sharing on
   top of the single-stream framework (CLI: ``repro serve``).
+- :mod:`repro.sanitizers` — schedule sanitizer (dynamic race/invariant
+  checking of DES timelines and LP outputs) and repo-specific static
+  lint (CLI: ``repro lint``, ``--sanitize`` on run/serve).
 """
 
 from repro.codec.config import CodecConfig
@@ -25,9 +28,10 @@ from repro.core.config import FrameworkConfig
 from repro.core.framework import FevesFramework
 from repro.hw.noise import FaultEvent, FaultSchedule
 from repro.hw.presets import get_platform, list_platforms
+from repro.sanitizers import ScheduleViolationError, TimelineSanitizer
 from repro.service import EncodingService, ServiceConfig, StreamSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CodecConfig",
@@ -36,8 +40,10 @@ __all__ = [
     "FaultSchedule",
     "FrameworkConfig",
     "FevesFramework",
+    "ScheduleViolationError",
     "ServiceConfig",
     "StreamSpec",
+    "TimelineSanitizer",
     "get_platform",
     "list_platforms",
     "__version__",

@@ -8,7 +8,7 @@ scheduling decision alone — the comparison the paper's evaluation makes.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.codec.config import CodecConfig
 from repro.core.coding_manager import FrameReport, VideoCodingManager

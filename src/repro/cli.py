@@ -8,13 +8,14 @@ Exposes the library's main entry points without writing Python::
     python -m repro encode in.yuv --size 352x288 --out clip.fevs
     python -m repro decode clip.fevs --out recon.yuv
     python -m repro trace --platform SysHK --frames 5 --out trace.json
+    python -m repro lint src
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.codec.config import CodecConfig
 from repro.core.config import FrameworkConfig
@@ -190,6 +191,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         n = export_fault_log(fw.fault_log, args.fault_log)
         print(f"wrote {n} fault-log entries to {args.fault_log}")
+    if args.sanitize:
+        from repro.sanitizers import TimelineSanitizer
+
+        report = TimelineSanitizer.for_framework(fw).check_run(fw)
+        print(report.summary())
+        for v in report.violations[:20]:
+            print(f"  {v}")
+        if not report.clean:
+            return 1
     return 0
 
 
@@ -284,6 +294,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n = service.export_trace(args.trace)
         print(f"wrote {n} trace events ({len(metrics.streams)} stream pids) "
               f"to {args.trace}")
+    if args.sanitize:
+        from repro.sanitizers import TimelineSanitizer
+
+        report = TimelineSanitizer.check_service(service)
+        print(report.summary())
+        for v in report.violations[:20]:
+            print(f"  {v}")
+        if not report.clean:
+            return 1
     return 0
 
 
@@ -383,6 +402,42 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sanitizers.lint import LINT_RULES, lint_paths
+
+    targets = [Path(p) for p in args.paths]
+    for t in targets:
+        if not t.exists():
+            raise SystemExit(f"error: no such file or directory: {t}")
+    violations = lint_paths(targets)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(
+            [
+                {"rule": v.rule, "path": v.path, "line": v.line,
+                 "col": v.col, "message": v.message}
+                for v in violations
+            ],
+            indent=1,
+        ))
+    else:
+        for v in violations:
+            print(v)
+        if violations:
+            by_rule: dict[str, int] = {}
+            for v in violations:
+                by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+            parts = ", ".join(f"{r}×{n}" for r, n in sorted(by_rule.items()))
+            print(f"{len(violations)} violation(s) ({parts})", file=sys.stderr)
+        else:
+            checked = ", ".join(sorted(LINT_RULES))
+            print(f"clean ({checked})")
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro", description="FEVES reproduction toolkit"
@@ -406,6 +461,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(run)
     run.add_argument("--fault-log", metavar="PATH",
                      help="write the per-frame fault/decision log as JSON")
+    run.add_argument("--sanitize", action="store_true",
+                     help="check every produced timeline against the "
+                          "schedule invariants (exit 1 on violations)")
     run.set_defaults(func=cmd_run)
 
     serve = sub.add_parser(
@@ -448,6 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH",
                        help="write a Chrome trace, one pid per stream")
     _add_fault_args(serve)
+    serve.add_argument("--sanitize", action="store_true",
+                       help="check per-session timelines and service "
+                            "invariants (exit 1 on violations)")
     serve.set_defaults(func=cmd_serve)
 
     sweep = sub.add_parser("sweep", help="regenerate a Fig. 6 table")
@@ -469,6 +530,23 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("input")
     dec.add_argument("--out", required=True)
     dec.set_defaults(func=cmd_decode)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-specific static checks (REP001-REP004)",
+        description=(
+            "AST lint with simulator-specific rules: REP001 no wall-clock "
+            "reads in hw/ and core/ simulation paths; REP002 no exact "
+            "==/!= against float literals; REP003 no Device fault/share "
+            "state mutated outside its API; REP004 no unguarded division "
+            "by rates/bandwidths that can be zero under faults. Suppress "
+            "per line with '# noqa: REPxxx'."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.set_defaults(func=cmd_lint)
 
     tr = sub.add_parser("trace", help="export a chrome://tracing JSON")
     tr.add_argument("--platform", default="SysHK", choices=list_platforms())

@@ -189,7 +189,7 @@ def _decode_coeffs(r: BitReader, n_coeffs: int) -> np.ndarray:
             run = 0
         zeros_left -= run
         pos = pos - run - 1
-    for p, mag in zip(out_positions, magnitudes):
+    for p, mag in zip(out_positions, magnitudes, strict=True):
         vec[p] = mag
     return vec
 

@@ -36,7 +36,7 @@ _OFFS = (-2, -1, 0, 1, 2, 3)
 def _filt6_h(a: np.ndarray, x0: int, width: int) -> np.ndarray:
     """Horizontal 6-tap filter (unrounded int32) at columns x0..x0+width-1."""
     out = np.zeros((a.shape[0], width), dtype=np.int32)
-    for tap, off in zip(_TAPS, _OFFS):
+    for tap, off in zip(_TAPS, _OFFS, strict=True):
         out += tap * a[:, x0 + off : x0 + off + width].astype(np.int32)
     return out
 
@@ -44,7 +44,7 @@ def _filt6_h(a: np.ndarray, x0: int, width: int) -> np.ndarray:
 def _filt6_v(a: np.ndarray, y0: int, height: int) -> np.ndarray:
     """Vertical 6-tap filter (unrounded int32) at rows y0..y0+height-1."""
     out = np.zeros((height, a.shape[1]), dtype=np.int32)
-    for tap, off in zip(_TAPS, _OFFS):
+    for tap, off in zip(_TAPS, _OFFS, strict=True):
         out += tap * a[y0 + off : y0 + off + height, :].astype(np.int32)
     return out
 
@@ -82,7 +82,7 @@ def _interp_core(gpad: np.ndarray, height: int, width: int) -> np.ndarray:
 
     # j: centre half-pel — vertical 6-tap over unrounded b values.
     j_raw = np.zeros((height, width), dtype=np.int64)
-    for tap, off in zip(_TAPS, _OFFS):
+    for tap, off in zip(_TAPS, _OFFS, strict=True):
         j_raw += tap * b_raw_full[p + off : p + off + height, :].astype(np.int64)
     j = np.clip((j_raw + 512) >> 10, 0, 255).astype(np.uint8)
 

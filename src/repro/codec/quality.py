@@ -21,7 +21,7 @@ def mse(a: np.ndarray, b: np.ndarray) -> float:
 def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
     """PSNR in dB between two planes (``inf`` for identical planes)."""
     m = mse(a, b)
-    if m == 0.0:
+    if m <= 0.0:
         return math.inf
     return 10.0 * math.log10(peak * peak / m)
 

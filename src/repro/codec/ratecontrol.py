@@ -65,7 +65,7 @@ class RateController:
     @property
     def frame_budget(self) -> float:
         """Bits available per frame at the target rate."""
-        return self.target_bps / self.fps
+        return self.target_bps / self.fps  # noqa: REP004 - fps validated > 0 in __post_init__
 
     @property
     def qp(self) -> int:

@@ -76,6 +76,8 @@ def ideal_aggregate_fps(
                 "sme": r.sme_row_s(cfg),
             }[module]
             pooled_rate += 1.0 / per_row
+        if pooled_rate <= 0:
+            raise ValueError(f"platform has no usable rate for {module}")
         total += n / pooled_rate
     total += min(
         dev.spec.rates.rstar_frame_s(cfg) for dev in platform.devices

@@ -105,7 +105,7 @@ def select_rstar_device(
     # Collapse to one device (the paper's single-device assignment): the
     # device carrying the largest share of stage time along the path.
     share_by_dev: dict[str, float] = {}
-    for (stage, dev), (_, frac) in zip(stage_path, RSTAR_STAGES):
+    for (stage, dev), (_, frac) in zip(stage_path, RSTAR_STAGES, strict=True):
         share_by_dev[dev] = share_by_dev.get(dev, 0.0) + frac
     best = max(share_by_dev.items(), key=lambda kv: (kv[1], -devices.index(kv[0])))
     return RStarDecision(device=best[0], path=stage_path, total_s=float(length))

@@ -101,6 +101,10 @@ def measure_link(
         if b1 == b0:
             return 0.0, b0 / t0
         inv_bw = (t1 - t0) / (b1 - b0)
+        if inv_bw <= 0:
+            # Noisy samples where the larger transfer was not slower:
+            # fall back to the throughput of the largest sample.
+            return 0.0, b1 / t1
         latency = max(0.0, t0 - b0 * inv_bw)
         return latency, 1.0 / inv_bw
 

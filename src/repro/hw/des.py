@@ -18,7 +18,8 @@ each op "runs".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 
 @dataclass
@@ -258,7 +259,7 @@ def validate_schedule(records: list[OpRecord]) -> None:
     eps = 1e-12
     for name, recs in by_res.items():
         recs = sorted(recs, key=lambda r: (r.start, r.end))
-        for a, b in zip(recs, recs[1:]):
+        for a, b in zip(recs, recs[1:], strict=False):
             if b.start < a.end - eps:
                 raise AssertionError(
                     f"overlap on {name}: {a.label}[{a.start:.6f},{a.end:.6f}] vs "

@@ -91,7 +91,7 @@ class GaussianJitter:
         self._rng = np.random.default_rng(self.seed)
 
     def sample(self) -> float:
-        if self.sigma == 0.0:
+        if self.sigma <= 0.0:
             return 1.0
         return max(0.05, 1.0 + float(self._rng.normal(0.0, self.sigma)))
 

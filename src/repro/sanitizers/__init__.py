@@ -1,0 +1,29 @@
+"""Two-layer analysis subsystem: schedule sanitizer + repo lint.
+
+Layer 1 (:mod:`repro.sanitizers.timeline`) is a dynamic race/invariant
+checker for DES timelines and LP outputs; layer 2
+(:mod:`repro.sanitizers.lint`) is a static AST lint with repo-specific
+rules (``repro lint``). Both report structured
+:class:`~repro.sanitizers.violations.Violation` records.
+"""
+
+from repro.sanitizers.lint import LINT_RULES, LintViolation, lint_paths
+from repro.sanitizers.timeline import TimelineSanitizer, sanitize_frame_report
+from repro.sanitizers.violations import (
+    SCHED_RULES,
+    SanitizerReport,
+    ScheduleViolationError,
+    Violation,
+)
+
+__all__ = [
+    "LINT_RULES",
+    "LintViolation",
+    "lint_paths",
+    "SCHED_RULES",
+    "SanitizerReport",
+    "ScheduleViolationError",
+    "TimelineSanitizer",
+    "Violation",
+    "sanitize_frame_report",
+]

@@ -82,7 +82,7 @@ class StreamSpec:
 
     @property
     def period_s(self) -> float:
-        return 1.0 / self.fps_target
+        return 1.0 / self.fps_target  # noqa: REP004 - fps_target validated > 0 in __post_init__
 
     @property
     def klass(self) -> DeadlineClass:

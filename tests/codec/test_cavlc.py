@@ -168,5 +168,5 @@ class TestEndToEnd:
         fw = FevesFramework(get_platform("SysHK"), cfg,
                             FrameworkConfig(compute="real"))
         out = fw.encode(clip)
-        for r, o in zip(ref, out):
+        for r, o in zip(ref, out, strict=True):
             assert o.encoded is not None and r.bits == o.encoded.bits

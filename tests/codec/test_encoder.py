@@ -60,7 +60,7 @@ class TestRateDistortion:
     def test_deterministic(self, small_cfg, small_sequence):
         a = ReferenceEncoder(small_cfg).encode_sequence(small_sequence)
         b = ReferenceEncoder(small_cfg).encode_sequence(small_sequence)
-        for fa, fb in zip(a, b):
+        for fa, fb in zip(a, b, strict=True):
             assert fa.bits == fb.bits
             np.testing.assert_array_equal(fa.recon.y, fb.recon.y)
 

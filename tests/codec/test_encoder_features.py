@@ -139,7 +139,7 @@ class TestParallelRealMode:
                 FrameworkConfig(compute="real", parallel_workers=workers),
             )
             results[workers] = fw.encode(clip)
-        for a, b in zip(results[0], results[3]):
+        for a, b in zip(results[0], results[3], strict=True):
             assert a.encoded.bits == b.encoded.bits
             np.testing.assert_array_equal(a.encoded.recon.y, b.encoded.recon.y)
             np.testing.assert_array_equal(a.encoded.recon.v, b.encoded.recon.v)

@@ -26,8 +26,7 @@ from repro.codec.frames import YuvFrame
 
 
 def plane_with_neighbours(val=100):
-    p = np.full((32, 32), val, dtype=np.uint8)
-    return p
+    return np.full((32, 32), val, dtype=np.uint8)
 
 
 class TestNeighbours:

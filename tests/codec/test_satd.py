@@ -72,7 +72,7 @@ class TestSatdInSme:
         fw = FevesFramework(get_platform("SysHK"), cfg,
                             FrameworkConfig(compute="real"))
         out = fw.encode(clip)
-        for r, o in zip(ref, out):
+        for r, o in zip(ref, out, strict=True):
             assert r.bits == o.encoded.bits
             np.testing.assert_array_equal(r.recon.y, o.encoded.recon.y)
 
@@ -89,5 +89,5 @@ class TestSatdInSme:
             outs[metric] = ReferenceEncoder(cfg).encode_sequence(clip)
         # Different cost surfaces ⇒ at least some MVs differ.
         assert any(
-            a.bits != b.bits for a, b in zip(outs["sad"], outs["satd"])
+            a.bits != b.bits for a, b in zip(outs["sad"], outs["satd"], strict=True)
         )

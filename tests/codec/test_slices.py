@@ -21,7 +21,7 @@ class TestGeometry:
         for rows, n in ((6, 1), (6, 3), (68, 4), (7, 3)):
             bounds = slice_bounds(rows, n)
             assert bounds[0][0] == 0 and bounds[-1][1] == rows
-            for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            for (a0, a1), (b0, b1) in zip(bounds, bounds[1:], strict=False):
                 assert a1 == b0
             sizes = [b - a for a, b in bounds]
             assert max(sizes) - min(sizes) <= 1
@@ -178,6 +178,6 @@ class TestEndToEnd:
         fw = FevesFramework(get_platform("SysNFF"), cfg,
                             FrameworkConfig(compute="real"))
         out = fw.encode(clip)
-        for r, o in zip(ref, out):
+        for r, o in zip(ref, out, strict=True):
             assert r.bits == o.encoded.bits
             np.testing.assert_array_equal(r.recon.y, o.encoded.recon.y)

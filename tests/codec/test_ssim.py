@@ -60,5 +60,5 @@ class TestSsim:
         cfg = CodecConfig(width=128, height=96, search_range=8)
         clip = SyntheticSequence(width=128, height=96, seed=3).frames(3)
         out = ReferenceEncoder(cfg).encode_sequence(clip)
-        for src, enc in zip(clip, out):
+        for src, enc in zip(clip, out, strict=True):
             assert ssim(src.y, enc.recon.y) > 0.85

@@ -112,7 +112,7 @@ class TestContainer:
         cfg_back, frames = read_stream(path)
         assert cfg_back.width == cfg.width
         assert len(frames) == len(clip)
-        for s, f in zip(stats, frames):
+        for s, f in zip(stats, frames, strict=True):
             np.testing.assert_array_equal(s.recon.y, f.y)
 
     def test_compression_actually_happens(self, tmp_path, cfg, clip):
@@ -137,5 +137,5 @@ class TestContainer:
         path = tmp_path / "clip.fevs"
         stats = write_stream(path, clip, cfg)
         _, frames = read_stream(path)
-        for src, s, rec in zip(clip, stats, frames):
+        for src, s, rec in zip(clip, stats, frames, strict=True):
             assert psnr(src.y, rec.y) == pytest.approx(s.psnr["y"], abs=1e-9)

@@ -2,12 +2,47 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.codec.config import CodecConfig
 from repro.codec.frames import YuvFrame
 from repro.video.generator import SyntheticSequence
+
+
+@pytest.fixture(autouse=True)
+def _schedule_sanitizer(monkeypatch):
+    """Sanitize every timeline the suite produces (opt-in via env var).
+
+    With ``REPRO_SANITIZE=1`` (or ``strict``) in the environment, every
+    :meth:`VideoCodingManager.run_frame` call anywhere in the suite gets
+    its report checked against the schedule invariants (engine races, τ
+    windows, conservation, faulted-device idleness) and fails the test on
+    the first violation. Unset, this fixture is a no-op, so the plain
+    tier-1 run is unaffected.
+    """
+    mode = os.environ.get("REPRO_SANITIZE", "").lower()
+    if mode in ("", "0", "off"):
+        yield
+        return
+
+    from repro.core.coding_manager import VideoCodingManager
+    from repro.sanitizers import TimelineSanitizer
+
+    original = VideoCodingManager.run_frame
+
+    def sanitized(self, *args, **kwargs):
+        report = original(self, *args, **kwargs)
+        san = TimelineSanitizer.for_config(
+            self.platform, self.codec_cfg, self.fw_cfg
+        )
+        san.check_report(report).raise_if_dirty()
+        return report
+
+    monkeypatch.setattr(VideoCodingManager, "run_frame", sanitized)
+    yield
 
 
 @pytest.fixture

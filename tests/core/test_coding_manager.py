@@ -124,7 +124,7 @@ class TestSchedule:
             ),
             key=lambda r: r.start,
         )
-        for a, b in zip(copies, copies[1:]):
+        for a, b in zip(copies, copies[1:], strict=False):
             assert b.start >= a.end - 1e-12
 
 

@@ -141,6 +141,6 @@ class TestTinyGeometry:
             get_platform("SysHK"), cfg, FrameworkConfig(compute="real")
         )
         out = fw.encode(clip)
-        for r, o in zip(ref, out):
+        for r, o in zip(ref, out, strict=True):
             assert o.encoded is not None and r.bits == o.encoded.bits
             np.testing.assert_array_equal(r.recon.y, o.encoded.recon.y)

@@ -327,7 +327,7 @@ class TestRealModeBitExact:
         faulty = encode(
             FaultSchedule([FaultEvent(frame=3, device="GPU_F2", kind="dropout")])
         )
-        for a, b in zip(clean, faulty):
+        for a, b in zip(clean, faulty, strict=True):
             assert (a.encoded is None) == (b.encoded is None)
             if a.encoded is None:
                 continue

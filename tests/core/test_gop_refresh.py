@@ -56,7 +56,7 @@ class TestFrameworkGop:
             FrameworkConfig(compute="real", gop_size=4),
         )
         out = fw.encode(clip)
-        for r, o in zip(ref, out):
+        for r, o in zip(ref, out, strict=True):
             assert o.encoded is not None
             assert r.is_intra == o.encoded.is_intra
             assert r.bits == o.encoded.bits

@@ -32,7 +32,7 @@ def encode_both(platform_name, cfg, frames, fw_kwargs=None):
 
 def assert_identical(ref_out, fev_out):
     assert len(ref_out) == len(fev_out)
-    for r, o in zip(ref_out, fev_out):
+    for r, o in zip(ref_out, fev_out, strict=True):
         e = o.encoded
         assert e is not None
         assert r.bits == e.bits, f"frame {r.index}: bits differ"

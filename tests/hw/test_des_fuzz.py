@@ -46,7 +46,7 @@ class TestDesFuzz:
                 assert op.start >= d.end - eps
         # 4. issue order respected per resource.
         for r in resources:
-            for a, b in zip(r.ops, r.ops[1:]):
+            for a, b in zip(r.ops, r.ops[1:], strict=False):
                 assert b.start >= a.end - eps
         # 5. makespan bounds: at least the busiest resource, at most the sum.
         total = sum(op.duration for op in ops)

@@ -60,7 +60,7 @@ class TestTraceExport:
             if e["ph"] == "X":
                 by_frame.setdefault(e["args"]["frame"], []).append(e["ts"])
         frames = sorted(by_frame)
-        for a, b in zip(frames, frames[1:]):
+        for a, b in zip(frames, frames[1:], strict=False):
             assert min(by_frame[b]) >= max(by_frame[a]) - 1e-6
 
     def test_zero_duration_barriers_skipped(self, timelines, tmp_path):

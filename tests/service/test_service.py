@@ -36,7 +36,7 @@ class TestSingleStreamParity:
         svc, metrics = serve([spec])
         sess = svc.sessions[0]
         assert metrics.stream("solo").frames == n
-        for ref, got in zip(fw.reports, sess.framework.reports):
+        for ref, got in zip(fw.reports, sess.framework.reports, strict=True):
             assert got.decision == ref.decision      # bit-identical rows
             assert got.tau_tot == ref.tau_tot        # exact, no tolerance
             assert got.rstar_device == ref.rstar_device
@@ -62,7 +62,7 @@ class TestSharing:
         )
         rec_a = svc.sessions[0].records
         rec_b = svc.sessions[1].records
-        for ra, rb in zip(rec_a, rec_b):
+        for ra, rb in zip(rec_a, rec_b, strict=True):
             assert ra.start_s == rb.start_s  # co-scheduled rounds
         assert metrics.rounds == 3
 

@@ -19,7 +19,7 @@ class TestPoissonArrivals:
         a = poisson_arrivals(10, 2.0, seed=7)
         b = poisson_arrivals(10, 2.0, seed=7)
         assert a == b
-        assert all(x < y for x, y in zip(a, a[1:]))
+        assert all(x < y for x, y in zip(a, a[1:], strict=False))
         assert poisson_arrivals(10, 2.0, seed=8) != a
 
     def test_rate_sets_mean_gap(self):

@@ -17,7 +17,7 @@ class TestYuvIO:
         assert path.stat().st_size == 3 * frame_bytes(64, 48)
         back = read_yuv420(path, 64, 48)
         assert len(back) == 3
-        for a, b in zip(frames, back):
+        for a, b in zip(frames, back, strict=True):
             np.testing.assert_array_equal(a.y, b.y)
             np.testing.assert_array_equal(a.u, b.u)
             np.testing.assert_array_equal(a.v, b.v)
