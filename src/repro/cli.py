@@ -405,27 +405,73 @@ def cmd_decode(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.sanitizers.dataflow import DATAFLOW_RULES, analyze_paths
+    from repro.sanitizers.dataflow.baseline import (
+        load_baseline,
+        split_findings,
+        write_baseline,
+    )
+    from repro.sanitizers.dataflow.reporting import (
+        format_json,
+        format_sarif,
+        format_text,
+        sort_violations,
+    )
+    from repro.sanitizers.dataflow.summaries import SummaryStore
     from repro.sanitizers.lint import LINT_RULES, lint_paths
 
     targets = [Path(p) for p in args.paths]
     for t in targets:
         if not t.exists():
             raise SystemExit(f"error: no such file or directory: {t}")
-    violations = lint_paths(targets)
-    if args.format == "json":
-        import json
 
-        print(json.dumps(
-            [
-                {"rule": v.rule, "path": v.path, "line": v.line,
-                 "col": v.col, "message": v.message}
-                for v in violations
-            ],
-            indent=1,
-        ))
+    # Exit codes: 0 clean, 1 unbaselined findings, 2 internal analyzer
+    # error — so CI can tell "code has findings" from "the linter broke".
+    try:
+        violations = lint_paths(targets)
+        store = SummaryStore(
+            Path(args.summary_cache) if args.summary_cache else None
+        )
+        dataflow, errors = analyze_paths(targets, store=store)
+        violations.extend(dataflow)
+    except Exception as exc:  # noqa: BLE001 - any crash is exit code 2
+        print(f"internal analyzer error: {exc}", file=sys.stderr)
+        return 2
+    if errors:
+        for err in errors:
+            print(f"internal analyzer error: {err}", file=sys.stderr)
+        return 2
+    violations = sort_violations(violations)
+
+    if args.write_baseline:
+        baseline_path = Path(args.baseline)
+        write_baseline(violations, baseline_path)
+        print(
+            f"wrote {len(violations)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined: list = []
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline)
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"internal analyzer error: bad baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        violations, baselined = split_findings(violations, baseline)
+
+    all_rules = {**LINT_RULES, **DATAFLOW_RULES}
+    if args.format == "json":
+        print(format_json(violations))
+    elif args.format == "sarif":
+        print(format_sarif(violations, all_rules))
     else:
-        for v in violations:
-            print(v)
+        text = format_text(violations)
+        if text:
+            print(text)
         if violations:
             by_rule: dict[str, int] = {}
             for v in violations:
@@ -433,8 +479,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
             parts = ", ".join(f"{r}×{n}" for r, n in sorted(by_rule.items()))
             print(f"{len(violations)} violation(s) ({parts})", file=sys.stderr)
         else:
-            checked = ", ".join(sorted(LINT_RULES))
+            checked = ", ".join(sorted(all_rules))
             print(f"clean ({checked})")
+        if baselined:
+            print(
+                f"{len(baselined)} baselined finding(s) suppressed",
+                file=sys.stderr,
+            )
     return 1 if violations else 0
 
 
@@ -533,19 +584,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="repo-specific static checks (REP001-REP004)",
+        help="repo-specific static checks (REP001-REP004, REP101-REP104)",
         description=(
             "AST lint with simulator-specific rules: REP001 no wall-clock "
             "reads in hw/ and core/ simulation paths; REP002 no exact "
             "==/!= against float literals; REP003 no Device fault/share "
             "state mutated outside its API; REP004 no unguarded division "
-            "by rates/bandwidths that can be zero under faults. Suppress "
-            "per line with '# noqa: REPxxx'."
+            "by rates/bandwidths that can be zero under faults. Dataflow "
+            "rules (CFG + abstract interpretation): REP101 unit mismatch "
+            "in rate/time/row/byte arithmetic; REP102 unordered set "
+            "iteration leaking into event/candidate ordering; REP103 "
+            "engine/slot acquired but not released on every path; REP104 "
+            "measurement paths mutating framework/device state. Suppress "
+            "per line with '# noqa: REPxxx'. Exit codes: 0 clean, 1 "
+            "unbaselined findings, 2 internal analyzer error."
         ),
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"))
+    lint.add_argument("--baseline", default=".repro-lint-baseline.json",
+                      help="findings baseline file (default: %(default)s)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report all findings, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline and exit 0")
+    lint.add_argument("--summary-cache", default=None,
+                      help="JSON cache for inter-procedural unit summaries "
+                           "(keyed on source hash; safe to cache in CI)")
     lint.set_defaults(func=cmd_lint)
 
     tr = sub.add_parser("trace", help="export a chrome://tracing JSON")

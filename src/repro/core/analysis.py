@@ -45,8 +45,11 @@ def utilization_summary(
         raise ValueError("no reports to analyze")
     acc: dict[str, list[float]] = {}
     for rep in window:
+        # sorted(): set iteration order would otherwise decide the key
+        # insertion order of `per_resource`, which leaks into exported
+        # summaries under different hash seeds (REP102).
         resources = {r.resource for r in rep.timeline.records}
-        for res in resources:
+        for res in sorted(resources):
             acc.setdefault(res, []).append(rep.timeline.utilization(res))
     return UtilizationSummary(
         per_resource={k: sum(v) / len(v) for k, v in acc.items()}

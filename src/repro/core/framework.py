@@ -144,10 +144,16 @@ class FevesFramework:
         no measurements at all the CPU — else the first surviving device —
         takes the block.
         """
+        # Iterate platform device order, not the survivor set (REP102):
+        # frozenset order varies with PYTHONHASHSEED, and the insertion
+        # order of `estimates` must stay canonical so no downstream
+        # consumer (min() tie-breaks, serialization) can ever observe a
+        # hash-seed-dependent order.
         estimates = {
-            name: t
-            for name in survivors
-            if (t := self.perf.rstar_frame_s(name)) is not None
+            d.name: t
+            for d in self.platform.devices
+            if d.name in survivors
+            and (t := self.perf.rstar_frame_s(d.name)) is not None
         }
         if len(estimates) >= 2:
             return select_rstar_device(

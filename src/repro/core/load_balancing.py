@@ -592,7 +592,10 @@ class LoadBalancer:
         lo = float(self.fw_cfg.min_rows_per_device)
         bounds = [(lo, float(n))] * (3 * d) + [(0.0, None)] * 3
         bounds += [(0.0, float(n))] * len(sigma_devs)
-        for i in parked:
+        # sorted(): `parked` is a set; the pinned bounds are disjoint so
+        # order cannot change the LP, but deterministic iteration keeps
+        # the constraint build reproducible by construction (REP102).
+        for i in sorted(parked):
             for idx in (i_m(i), i_l(i), i_s(i)):
                 bounds[idx] = (0.0, 0.0)
         c = np.zeros(nv)

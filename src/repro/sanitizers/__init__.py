@@ -1,12 +1,15 @@
-"""Two-layer analysis subsystem: schedule sanitizer + repo lint.
+"""Three-layer analysis subsystem: sanitizer, AST lint, dataflow lint.
 
 Layer 1 (:mod:`repro.sanitizers.timeline`) is a dynamic race/invariant
 checker for DES timelines and LP outputs; layer 2
-(:mod:`repro.sanitizers.lint`) is a static AST lint with repo-specific
-rules (``repro lint``). Both report structured
-:class:`~repro.sanitizers.violations.Violation` records.
+(:mod:`repro.sanitizers.lint`) is a static per-line AST lint with
+repo-specific rules; layer 3 (:mod:`repro.sanitizers.dataflow`) is a
+CFG + abstract-interpretation engine for flow-sensitive rules (unit
+mismatches, iteration-order determinism, resource safety, measurement
+purity). Layers 2 and 3 both run under ``repro lint``.
 """
 
+from repro.sanitizers.dataflow import DATAFLOW_RULES, analyze_paths
 from repro.sanitizers.lint import LINT_RULES, LintViolation, lint_paths
 from repro.sanitizers.timeline import TimelineSanitizer, sanitize_frame_report
 from repro.sanitizers.violations import (
@@ -17,8 +20,10 @@ from repro.sanitizers.violations import (
 )
 
 __all__ = [
+    "DATAFLOW_RULES",
     "LINT_RULES",
     "LintViolation",
+    "analyze_paths",
     "lint_paths",
     "SCHED_RULES",
     "SanitizerReport",

@@ -1,0 +1,71 @@
+"""Findings baseline: triage legacy findings without blocking CI.
+
+The baseline is a committed JSON file (``.repro-lint-baseline.json``)
+listing known findings as ``(rule, path, line)`` triples.  ``repro
+lint`` subtracts it from the current findings, so new findings fail CI
+while baselined ones are visible-but-tolerated until fixed.  Entries
+carry the message and an optional ``reason`` so a reviewer can tell a
+triaged false positive from an un-triaged one.
+
+Line-keyed baselines drift when files are edited above an entry; that
+is deliberate — a drifted entry resurfaces as a new finding and forces
+re-triage rather than silently suppressing a different line forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sanitizers.lint import LintViolation
+
+BASELINE_VERSION = 1
+
+Key = tuple[str, str, int]  # (rule, path, line)
+
+
+def _key(v: LintViolation) -> Key:
+    return (v.rule, v.path, v.line)
+
+
+def load_baseline(path: Path) -> set[Key]:
+    """Baseline keys from a baseline file; empty set if absent."""
+    if not path.exists():
+        return set()
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {raw.get('version')!r} in {path}"
+        )
+    keys: set[Key] = set()
+    for entry in raw.get("findings", []):
+        keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+    return keys
+
+
+def split_findings(
+    violations: list[LintViolation], baseline: set[Key]
+) -> tuple[list[LintViolation], list[LintViolation]]:
+    """Partition into (new, baselined)."""
+    new: list[LintViolation] = []
+    old: list[LintViolation] = []
+    for v in violations:
+        (old if _key(v) in baseline else new).append(v)
+    return new, old
+
+
+def write_baseline(violations: list[LintViolation], path: Path) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = [
+        {
+            "rule": v.rule,
+            "path": v.path,
+            "line": v.line,
+            "message": v.message,
+        }
+        for v in sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,137 @@
+"""Determinism regression: runs must be bit-identical across hash seeds.
+
+Python's string hashing (and therefore every ``set``/``dict``-of-names
+iteration order) changes with ``PYTHONHASHSEED``; the DES, the LP and
+the fault-rebalancing path must not let that order leak into results.
+REP102 flagged three such order-fragile sites (survivor frozensets
+feeding the R* fallback's estimates dict, LP parked-device iteration,
+utilization-summary accumulation); all were hardened to canonical
+iteration orders, and this test pins the end-to-end property so a
+future regression — any set order reaching event insertion, candidate
+ordering or serialization — fails loudly.
+
+The runner below encodes the same platform/config (with a mid-run
+dropout of the R* device and identical surviving GPUs so the R*
+re-placement faces a genuine tie, plus a shuffled device-spec
+insertion order) in a fresh interpreter per hash seed, then digests
+timelines, distributions, fault log and the chrome trace export.  All
+digests must be byte-identical.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# The runner prints a sha256 over every order-sensitive artifact:
+# serialized per-frame timelines (records in execution order), final
+# distributions, the fault log, the run summary (dict order included),
+# and the chrome trace file bytes.
+RUNNER = r"""
+import hashlib, json, random, sys, tempfile
+from pathlib import Path
+
+shuffle_seed = int(sys.argv[1])
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.hw.presets import get_device_spec
+from repro.hw.topology import Platform
+from repro.hw.trace_export import export_chrome_trace
+
+# Shuffle the insertion order of the name->spec table the platform is
+# assembled from; the canonical device order itself is part of the
+# configuration (paper convention: accelerators first, then CPU).
+from repro.hw.presets import _gpu_variant  # same-silicon rename helper
+
+gpu = get_device_spec("GPU_F")
+entries = [
+    ("GPU_F", gpu),
+    ("GPU_F2", _gpu_variant(gpu, "GPU_F2")),
+    ("GPU_F3", _gpu_variant(gpu, "GPU_F3")),
+    ("CPU_N", get_device_spec("CPU_N")),
+]
+shuffled = list(entries)
+random.Random(shuffle_seed).shuffle(shuffled)
+by_name = dict(shuffled)  # insertion order perturbed
+specs = [by_name[n] for n, _ in entries]
+platform = Platform(name="SysNFF", specs=specs)
+
+# Dropping the R* device leaves two *identical* GPUs as candidates:
+# the re-placement tie must resolve by canonical device order, never
+# by survivor-set iteration order.
+faults = FaultSchedule([
+    FaultEvent(frame=4, device="GPU_F", kind="dropout"),
+])
+fw = FevesFramework(
+    platform,
+    CodecConfig(width=1280, height=720, search_range=16),
+    FrameworkConfig(faults=faults),
+)
+fw.run_model(10)
+
+blob = {
+    "timelines": [
+        [
+            [r.label, r.resource, r.category, repr(r.start), repr(r.end)]
+            for r in rep.timeline.records
+        ]
+        for rep in fw.reports
+    ],
+    "taus": [
+        [repr(rep.tau1), repr(rep.tau2), repr(rep.tau_tot)]
+        for rep in fw.reports
+    ],
+    "distribution": fw.summary()["distribution"],
+    "fault_log": [e.to_dict() for e in fw.fault_log],
+    "summary_keys_in_order": list(fw.summary()),
+    "rstar": fw.rstar_device,
+}
+with tempfile.TemporaryDirectory() as td:
+    trace = Path(td) / "trace.json"
+    export_chrome_trace([rep.timeline for rep in fw.reports], trace)
+    trace_bytes = trace.read_bytes()
+
+digest = hashlib.sha256(
+    json.dumps(blob, sort_keys=False).encode() + trace_bytes
+).hexdigest()
+print(digest)
+"""
+
+
+def _run(hash_seed: str, shuffle_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [sys.executable, "-c", RUNNER, str(shuffle_seed)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_bit_identical_across_hash_seeds_and_insertion_order():
+    digests = {
+        _run(hash_seed, shuffle_seed)
+        for hash_seed, shuffle_seed in [
+            ("0", 0),
+            ("1", 1),
+            ("4242", 2),
+        ]
+    }
+    assert len(digests) == 1, (
+        "timelines/distributions/trace exports differ across "
+        f"PYTHONHASHSEED or insertion order: {digests}"
+    )
+
+
+def test_repeat_run_same_seed_is_identical():
+    assert _run("7", 0) == _run("7", 0)

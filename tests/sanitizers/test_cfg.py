@@ -1,0 +1,209 @@
+"""CFG construction unit tests: branch, loop-else, try/finally edges."""
+
+import ast
+
+from repro.sanitizers.dataflow.cfg import (
+    CFG,
+    IterElem,
+    TestElem,
+    build_cfg,
+    build_module_cfg,
+)
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn)
+
+
+def _reachable(cfg: CFG, start: int, kinds: frozenset[str] | None = None) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        bid = stack.pop()
+        for dst, kind in cfg.succs(bid):
+            if kinds is not None and kind not in kinds:
+                continue
+            if dst not in seen:
+                seen.add(dst)
+                stack.append(dst)
+    return seen
+
+
+def _block_of(cfg: CFG, line: int) -> int:
+    """The block holding the statement that starts at ``line``."""
+    for bid, blk in cfg.blocks.items():
+        for elem in blk.elems:
+            node = getattr(elem, "node", elem)
+            if getattr(node, "lineno", None) == line:
+                return bid
+    raise AssertionError(f"no block holds line {line}")
+
+
+class TestBranches:
+    def test_if_join(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        then_b = _block_of(cfg, 3)
+        else_b = _block_of(cfg, 5)
+        ret_b = _block_of(cfg, 6)
+        # Both arms flow into the same join block.
+        assert (ret_b, "normal") in cfg.succs(then_b)
+        assert (ret_b, "normal") in cfg.succs(else_b)
+        # The return reaches the normal exit, not the raise exit.
+        assert (cfg.exit, "normal") in cfg.succs(ret_b)
+
+    def test_if_without_else_falls_through(self):
+        cfg = _cfg("def f(x):\n    if x:\n        a = 1\n    return 0\n")
+        test_b = _block_of(cfg, 2)
+        ret_b = _block_of(cfg, 4)
+        assert (ret_b, "false") in cfg.succs(test_b)
+
+    def test_unreachable_code_is_parked_not_lost(self):
+        cfg = _cfg("def f():\n    return 1\n    x = 2\n")
+        dead = _block_of(cfg, 3)  # still built ...
+        assert cfg.preds(dead) == []  # ... but has no predecessors
+
+
+class TestLoops:
+    def test_loop_else_runs_only_on_exhaustion(self):
+        cfg = _cfg(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "    else:\n"
+            "        cleanup()\n"
+            "    return 0\n"
+        )
+        head = _block_of(cfg, 2)
+        els = _block_of(cfg, 6)
+        ret = _block_of(cfg, 7)
+        # else is entered from the loop head via an "else" edge.
+        assert (els, "else") in cfg.succs(head)
+        # break bypasses the else clause: no path from the break block
+        # enters the else block without going back through the head.
+        brk = _block_of(cfg, 3)  # the `if x:` test block inside the body
+        assert (ret, "normal") in cfg.succs(els)
+        reach_from_break = _reachable(
+            cfg, brk, kinds=frozenset({"normal", "true", "false"})
+        )
+        assert els not in reach_from_break
+
+    def test_while_back_edge(self):
+        cfg = _cfg("def f(x):\n    while x:\n        x -= 1\n    return x\n")
+        head = _block_of(cfg, 2)
+        body = _block_of(cfg, 3)
+        assert (head, "back") in cfg.succs(body)
+        assert any(isinstance(e, TestElem) for e in cfg.blocks[head].elems)
+
+    def test_continue_targets_loop_head(self):
+        cfg = _cfg(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            continue\n"
+            "        use(x)\n"
+            "    return 0\n"
+        )
+        head = _block_of(cfg, 2)
+        assert any(isinstance(e, IterElem) for e in cfg.blocks[head].elems)
+        cont = _block_of(cfg, 3)
+        # continue's back edge from the true-arm block reaches the head.
+        true_arms = [d for d, k in cfg.succs(cont) if k == "true"]
+        assert len(true_arms) == 1
+        assert (head, "back") in cfg.succs(true_arms[0])
+
+
+class TestTryFinally:
+    def test_finally_on_normal_and_exceptional_paths(self):
+        cfg = _cfg(
+            "def f(r):\n"
+            "    r.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        r.release()\n"
+            "    return 0\n"
+        )
+        body = _block_of(cfg, 4)
+        fin = _block_of(cfg, 6)
+        ret = _block_of(cfg, 7)
+        # The try body reaches the finally both normally and via the
+        # exception edge of work().
+        kinds = {k for d, k in cfg.succs(body) if d == fin}
+        assert "finally" in kinds or "normal" in kinds
+        assert ("except" in {k for _, k in cfg.succs(body)})
+        # After the finally: normal continuation AND the re-raise path.
+        succ_fin = cfg.succs(fin)
+        assert (ret, "normal") in succ_fin
+        assert any(d == cfg.raise_exit for d, _ in succ_fin)
+
+    def test_return_detours_through_finally(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        ret = _block_of(cfg, 3)
+        fin = _block_of(cfg, 5)
+        # The return edge enters the finally, not the exit directly.
+        assert any(d == fin for d, _ in cfg.succs(ret))
+        assert all(d != cfg.exit for d, _ in cfg.succs(ret))
+        # The finally then reaches the function exit.
+        assert cfg.exit in _reachable(cfg, fin)
+
+    def test_handler_catches_then_falls_through(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        recover()\n"
+            "    return 0\n"
+        )
+        body = _block_of(cfg, 3)
+        handler = _block_of(cfg, 5)
+        ret = _block_of(cfg, 6)
+        # body --except--> dispatch --except--> handler --> join
+        dispatches = [d for d, k in cfg.succs(body) if k == "except"]
+        assert any(
+            (handler, "except") in cfg.succs(d) for d in dispatches
+        )
+        assert (ret, "normal") in cfg.succs(handler)
+        # An unmatched exception still escapes to the raise exit.
+        assert cfg.raise_exit in _reachable(cfg, body)
+
+    def test_nested_finally_chains_outward(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        try:\n"
+            "            return 1\n"
+            "        finally:\n"
+            "            inner()\n"
+            "    finally:\n"
+            "        outer()\n"
+        )
+        inner = _block_of(cfg, 6)
+        outer = _block_of(cfg, 8)
+        # return -> inner finally -> outer finally -> exit
+        assert outer in _reachable(cfg, inner)
+        assert cfg.exit in _reachable(cfg, outer)
+
+
+class TestModuleCfg:
+    def test_module_body_builds(self):
+        tree = ast.parse("x = 1\nfor i in range(3):\n    x += i\n")
+        cfg = build_module_cfg(tree)
+        assert cfg.exit in _reachable(cfg, cfg.entry)

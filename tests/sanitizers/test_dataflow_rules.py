@@ -1,0 +1,334 @@
+"""Golden-file tests for the REP1xx dataflow rules.
+
+Each rule gets a seeded-bug mutant the analyzer MUST catch and a clean
+twin that MUST stay silent — the mutant/twin pairs double as living
+documentation of what each rule means.
+"""
+
+import textwrap
+
+from repro.sanitizers.dataflow import (
+    DATAFLOW_RULES,
+    analyze_source,
+    rules_for_path,
+)
+
+HW_PATH = "src/repro/hw/fake_module.py"
+CORE_PATH = "src/repro/core/fake_module.py"
+SERVICE_PATH = "src/repro/service/fake_module.py"
+CALIB_PATH = "src/repro/hw/calibration.py"
+OUTSIDE_PATH = "src/repro/util/fake_module.py"
+
+
+def run(source: str, path: str, select=None):
+    violations, errors = analyze_source(
+        textwrap.dedent(source), path, select=select
+    )
+    assert errors == []
+    return violations
+
+
+def rules_hit(source: str, path: str, select=None):
+    return {v.rule for v in run(source, path, select=select)}
+
+
+class TestREP101Units:
+    def test_seconds_plus_rows_is_caught(self):
+        src = """
+        def f(transfer_s: float, mb_rows: int) -> float:
+            return transfer_s + mb_rows
+        """
+        assert "REP101" in rules_hit(src, HW_PATH)
+
+    def test_rows_per_second_into_bytes_field_is_caught(self):
+        src = """
+        def f(plan, mb_rows, tau_s):
+            plan.nbytes = mb_rows / tau_s
+        """
+        assert "REP101" in rules_hit(src, CORE_PATH)
+
+    def test_consistent_arithmetic_is_clean(self):
+        src = """
+        def f(k_me, mb_rows, bw, row_bytes_per_row):
+            compute_s = k_me * mb_rows
+            transfer_s = mb_rows * row_bytes_per_row / bw
+            return compute_s + transfer_s
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_dimensionless_constants_are_compatible(self):
+        src = """
+        def f(tau_s):
+            return max(0.0, tau_s) * 2
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_mismatch_flows_through_assignment(self):
+        src = """
+        def f(mb_rows, duration_s):
+            speed = mb_rows / duration_s   # rows/s, fine
+            total_bytes = speed            # rows/s stored as bytes: bug
+            return total_bytes
+        """
+        assert "REP101" in rules_hit(src, CORE_PATH)
+
+    def test_branches_that_disagree_degrade_to_unknown(self):
+        # One arm leaves `x` as seconds, the other as rows: after the
+        # join the unit is unknown, so later use must NOT flag.
+        src = """
+        def f(cond, tau_s, mb_rows):
+            if cond:
+                x = tau_s
+            else:
+                x = mb_rows
+            return x + 1.0
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_summary_table_beats_naming_convention(self):
+        # buffer_row_bytes ends in _bytes but its signature is bytes/row;
+        # rows * bytes/row = bytes is clean.
+        src = """
+        def f(mb_rows, buf, sizes):
+            nbytes = mb_rows * buffer_row_bytes(buf, sizes)
+            return nbytes
+        """
+        assert rules_hit(src, CORE_PATH) == set()
+
+    def test_min_mixing_units_is_caught(self):
+        src = """
+        def f(tau_s, mb_rows):
+            return min(tau_s, mb_rows)
+        """
+        assert "REP101" in rules_hit(src, HW_PATH)
+
+    def test_out_of_scope_path_is_silent(self):
+        src = """
+        def f(transfer_s, mb_rows):
+            return transfer_s + mb_rows
+        """
+        assert rules_hit(src, OUTSIDE_PATH) == set()
+        assert "REP101" not in rules_for_path(OUTSIDE_PATH)
+
+
+class TestREP102Determinism:
+    def test_for_loop_over_set_is_caught(self):
+        src = """
+        def schedule(events):
+            pending = {e.key for e in events}
+            out = []
+            for key in pending:
+                out.append(key)
+            return out
+        """
+        assert "REP102" in rules_hit(src, HW_PATH)
+
+    def test_sorted_iteration_is_clean(self):
+        src = """
+        def schedule(events):
+            pending = {e.key for e in events}
+            out = []
+            for key in sorted(pending):
+                out.append(key)
+            return out
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_set_annotated_parameter_is_tracked(self):
+        src = """
+        def pick(survivors: frozenset[str]):
+            return {name: len(name) for name in survivors}
+        """
+        assert "REP102" in rules_hit(src, CORE_PATH)
+
+    def test_list_conversion_of_set_is_caught(self):
+        src = """
+        def f(xs):
+            s = set(xs)
+            return list(s)
+        """
+        assert "REP102" in rules_hit(src, SERVICE_PATH)
+
+    def test_set_rebuild_and_membership_are_clean(self):
+        src = """
+        def f(xs, name):
+            live = frozenset(xs)
+            down = frozenset(n for n in live if bad(n))
+            return name in (live - down)
+        """
+        assert rules_hit(src, CORE_PATH) == set()
+
+    def test_order_insensitive_reductions_are_clean(self):
+        src = """
+        def f(xs):
+            s = set(xs)
+            return len(s), sum(s), min(s), max(s), any(x > 0 for x in s)
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_popitem_result_is_tainted(self):
+        src = """
+        def f(d):
+            item = d.popitem()
+            for x in item:
+                use(x)
+            return item
+        """
+        assert "REP102" in rules_hit(src, HW_PATH)
+
+    def test_reassignment_with_ordered_value_clears_taint(self):
+        src = """
+        def f(xs):
+            s = set(xs)
+            s = sorted(s)
+            for x in s:
+                use(x)
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+
+class TestREP103Resources:
+    def test_early_return_leaks_engine(self):
+        src = """
+        def run_op(dev, op):
+            dev.acquire_engine(op.engine)
+            if op.rows <= 0:
+                return None
+            result = execute(dev, op)
+            dev.release_engine(op.engine)
+            return result
+        """
+        found = run(src, HW_PATH)
+        assert any(v.rule == "REP103" for v in found)
+
+    def test_exception_path_leak_is_caught(self):
+        # execute() may raise between acquire and release; REP103 must
+        # see the exceptional exit even though the return path is fine.
+        src = """
+        def run_op(dev, op):
+            dev.acquire_engine(op.engine)
+            result = execute(dev, op)
+            dev.release_engine(op.engine)
+            return result
+        """
+        found = [v for v in run(src, HW_PATH) if v.rule == "REP103"]
+        assert found
+        assert "exception path" in found[0].message
+
+    def test_try_finally_release_is_clean(self):
+        src = """
+        def run_op(dev, op):
+            dev.acquire_engine(op.engine)
+            try:
+                return execute(dev, op)
+            finally:
+                dev.release_engine(op.engine)
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_with_statement_is_exempt(self):
+        src = """
+        def run_op(dev, op):
+            with dev.acquire_engine(op.engine):
+                return execute(dev, op)
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_release_of_other_resource_does_not_clear(self):
+        src = """
+        def f(a, b):
+            a.acquire()
+            b.release()
+            return done()
+        """
+        found = [v for v in run(src, HW_PATH) if v.rule == "REP103"]
+        assert found
+
+    def test_both_paths_release_is_clean(self):
+        src = """
+        def f(dev, fast):
+            dev.reserve()
+            try:
+                if fast:
+                    r = quick(dev)
+                else:
+                    r = slow(dev)
+            finally:
+                dev.free()
+            return r
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+
+class TestREP104Purity:
+    def test_attribute_store_on_parameter_is_caught(self):
+        src = """
+        def characterize(framework, reports):
+            framework.rstar_device = None   # mutates the framework: bug
+            return summarize(reports)
+        """
+        assert "REP104" in rules_hit(src, CALIB_PATH)
+
+    def test_mutator_call_on_device_is_caught(self):
+        src = """
+        def measure(device, rows):
+            device.apply_fault(0.5)
+            return device.transfer_s(rows, "h2d")
+        """
+        assert "REP104" in rules_hit(src, CALIB_PATH)
+
+    def test_building_local_accumulators_is_clean(self):
+        src = """
+        def summarize(reports):
+            acc = {}
+            for rep in reports:
+                for rec in rep.records:
+                    acc.setdefault(rec.resource, []).append(rec.duration)
+            out = {}
+            for key, values in acc.items():
+                out[key] = sum(values) / len(values)
+            return out
+        """
+        assert rules_hit(src, CALIB_PATH) == set()
+
+    def test_rule_only_runs_on_measurement_modules(self):
+        src = """
+        def mutate(framework):
+            framework.state = 1
+        """
+        assert "REP104" not in rules_hit(src, CORE_PATH)
+        assert "REP104" in rules_for_path(CALIB_PATH)
+        assert "REP104" in rules_for_path("src/repro/core/analysis.py")
+
+
+class TestSuppressionAndScoping:
+    def test_noqa_suppresses_dataflow_finding(self):
+        src = """
+        def f(transfer_s, mb_rows):
+            return transfer_s + mb_rows  # noqa: REP101
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_blanket_noqa_suppresses(self):
+        src = """
+        def f(xs):
+            s = set(xs)
+            return list(s)  # noqa
+        """
+        assert rules_hit(src, HW_PATH) == set()
+
+    def test_select_forces_rules_out_of_scope(self):
+        src = """
+        def f(transfer_s, mb_rows):
+            return transfer_s + mb_rows
+        """
+        assert "REP101" in rules_hit(src, OUTSIDE_PATH, select=["REP101"])
+
+    def test_syntax_error_is_silent_here(self):
+        # REP000 is the per-line lint's job; dataflow must not crash.
+        violations, errors = analyze_source("def f(:\n", HW_PATH)
+        assert violations == [] and errors == []
+
+    def test_every_rule_has_a_description(self):
+        assert set(DATAFLOW_RULES) == {"REP101", "REP102", "REP103", "REP104"}
+        assert all(DATAFLOW_RULES[r] for r in DATAFLOW_RULES)

@@ -1,0 +1,136 @@
+"""CLI behavior of ``repro lint``: formats, baseline workflow, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+BUGGY = (
+    "def schedule(events):\n"
+    "    pending = {e.key for e in events}\n"
+    "    out = []\n"
+    "    for key in pending:\n"
+    "        out.append(key)\n"
+    "    return out\n"
+)
+
+CLEAN = (
+    "def schedule(events):\n"
+    "    pending = {e.key for e in events}\n"
+    "    return [key for key in sorted(pending)]\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> Path:
+    mod = tmp_path / "src" / "repro" / "hw" / "sched.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(BUGGY)
+    return tmp_path
+
+
+def lint(tree: Path, *extra: str) -> int:
+    baseline = tree / "baseline.json"
+    return main(
+        ["lint", "--baseline", str(baseline), *extra, str(tree / "src")]
+    )
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tree):
+        assert lint(tree) == 1
+
+    def test_clean_exit_0(self, tree, capsys):
+        (tree / "src" / "repro" / "hw" / "sched.py").write_text(CLEAN)
+        assert lint(tree) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "REP101" in out and "REP104" in out  # dataflow rules ran
+
+    def test_internal_error_exit_2(self, tree):
+        # A corrupt baseline is an analyzer-infrastructure failure, not
+        # a lint finding: distinct exit code so CI can tell them apart.
+        (tree / "baseline.json").write_text('{"version": 99}')
+        assert lint(tree) == 2
+
+
+class TestFormats:
+    def test_json_is_sorted_and_stable(self, tree, capsys):
+        extra = tree / "src" / "repro" / "hw" / "aaa.py"
+        extra.write_text(BUGGY)
+        assert lint(tree, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        assert payload[0]["rule"] == "REP102"
+        keys = [(v["path"], v["line"], v["rule"]) for v in payload]
+        assert keys == sorted(keys)
+
+    def test_sarif_structure(self, tree, capsys):
+        assert lint(tree, "--format", "sarif") == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"REP001", "REP101", "REP102", "REP103", "REP104"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "REP102"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("sched.py")
+        assert loc["region"]["startLine"] >= 1
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_is_clean(self, tree, capsys):
+        assert lint(tree, "--write-baseline") == 0
+        baseline = json.loads((tree / "baseline.json").read_text())
+        assert baseline["version"] == 1
+        assert baseline["findings"]
+        # With the baseline in place the same findings no longer fail.
+        assert lint(tree) == 0
+        assert "baselined finding(s) suppressed" in capsys.readouterr().err
+
+    def test_new_finding_still_fails_with_baseline(self, tree):
+        assert lint(tree, "--write-baseline") == 0
+        extra = tree / "src" / "repro" / "hw" / "new_bug.py"
+        extra.write_text(BUGGY)
+        assert lint(tree) == 1
+
+    def test_no_baseline_flag_reports_everything(self, tree):
+        assert lint(tree, "--write-baseline") == 0
+        assert lint(tree, "--no-baseline") == 1
+
+    def test_missing_baseline_file_is_empty_baseline(self, tree):
+        assert not (tree / "baseline.json").exists()
+        assert lint(tree) == 1
+
+
+class TestSummaryCache:
+    def test_cache_is_written_and_reused(self, tree):
+        cache = tree / "cache.json"
+        assert lint(tree, "--summary-cache", str(cache)) == 1
+        assert cache.exists()
+        first = json.loads(cache.read_text())
+        assert first["version"] == 1
+        # Second run with an unchanged tree reuses the entries (same
+        # shas) and must produce identical results.
+        assert lint(tree, "--summary-cache", str(cache)) == 1
+        assert json.loads(cache.read_text()) == first
+
+    def test_cache_invalidates_on_source_change(self, tree):
+        cache = tree / "cache.json"
+        assert lint(tree, "--summary-cache", str(cache)) == 1
+        mod = tree / "src" / "repro" / "hw" / "sched.py"
+        first = json.loads(cache.read_text())
+        (sha_entry,) = [
+            m["sha"] for k, m in first["modules"].items() if "sched" in k
+        ]
+        mod.write_text(CLEAN)
+        assert lint(tree, "--summary-cache", str(cache)) == 0
+        second = json.loads(cache.read_text())
+        (sha2,) = [
+            m["sha"] for k, m in second["modules"].items() if "sched" in k
+        ]
+        assert sha2 != sha_entry
