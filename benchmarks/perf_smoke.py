@@ -1,0 +1,228 @@
+"""Perf smoke: measure the scheduling fast path and gate regressions.
+
+Produces the two root-level snapshots the repository commits:
+
+- ``BENCH_OVERHEAD.json`` — per-platform scheduling overhead of the cold
+  path (every optimization off) vs the fast path (warm-start LP,
+  characterization caches, vectorized DES) at rtol=0, where the two must
+  produce bit-identical simulated timelines;
+- ``BENCH_SERVICE.json`` — a small multi-stream service run on SysHK
+  with the shared cross-session LP cache, recording round/frame counts,
+  cache hit rate, and host-side wall time.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --write   # refresh the snapshots
+    python benchmarks/perf_smoke.py --check   # CI gate, exit 1 on regression
+
+``--check`` compares fresh measurements against the committed snapshots
+and fails when the fast path regresses by more than ``REGRESSION_TOL``
+(25%). Absolute milliseconds vary across machines, so the gated metrics
+are machine-normalized:
+
+- ``relative_overhead`` = fast ms / cold ms, measured in the same
+  process on the same host — a genuine fast-path regression raises it
+  regardless of how fast the CI runner is;
+- the service LP-cache ``hit_rate`` and the deterministic ``rounds`` /
+  ``frames`` counts, which must not degrade at all;
+- ``timelines_identical``, which must stay true (the fast path is only
+  acceptable while bit-identical to the cold path).
+
+``--check`` also rewrites the snapshot files afterwards so CI can upload
+the fresh measurements as an artifact without a second run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+from repro.service import EncodingService, ServiceConfig, build_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OVERHEAD_PATH = REPO_ROOT / "BENCH_OVERHEAD.json"
+SERVICE_PATH = REPO_ROOT / "BENCH_SERVICE.json"
+
+PLATFORMS = ("SysNF", "SysNFF", "SysHK")
+N_FRAMES = 40
+CFG = CodecConfig(width=1920, height=1088, search_range=16, num_ref_frames=1)
+
+SERVICE_STREAMS = 4
+SERVICE_FRAMES = 8
+
+REGRESSION_TOL = 0.25
+
+
+#: Repetitions per (platform, config); the minimum is kept. Wall-clock
+#: noise only ever inflates a measurement, so min-of-N is the stable
+#: estimator — a single run can jitter ±30% and trip the 25% gate.
+N_REPS = 3
+
+
+def _run(platform: str, fw_cfg: FrameworkConfig) -> FevesFramework:
+    fw = FevesFramework(get_platform(platform), CFG, fw_cfg)
+    fw.run_model(N_FRAMES)
+    return fw
+
+
+def _best_overhead(
+    platform: str, fw_cfg: FrameworkConfig
+) -> tuple[float, FevesFramework]:
+    best_ms, best_fw = float("inf"), None
+    for _ in range(N_REPS):
+        fw = _run(platform, fw_cfg)
+        if fw.scheduling_overhead_ms < best_ms:
+            best_ms, best_fw = fw.scheduling_overhead_ms, fw
+    assert best_fw is not None
+    return best_ms, best_fw
+
+
+def measure_overhead() -> dict:
+    out: dict[str, dict] = {}
+    for platform in PLATFORMS:
+        cold_ms, cold = _best_overhead(platform, FrameworkConfig(
+            lb_cache_rtol=0.0, lp_warm_start=False, char_cache=False,
+            des_fast=False,
+        ))
+        fast_ms, fast = _best_overhead(platform, FrameworkConfig(
+            lb_cache_rtol=0.0, lp_warm_start=True, char_cache=True,
+            des_fast=True,
+        ))
+        out[platform] = {
+            "cold_ms_per_frame": round(cold_ms, 4),
+            "fast_ms_per_frame": round(fast_ms, 4),
+            "speedup": round(cold_ms / fast_ms, 2) if fast_ms > 0 else None,
+            "relative_overhead": (
+                round(fast_ms / cold_ms, 4) if cold_ms > 0 else None
+            ),
+            "timelines_identical": (
+                cold.frame_times_ms() == fast.frame_times_ms()
+            ),
+        }
+    return {
+        "benchmark": "scheduling overhead, cold vs fast path (rtol=0)",
+        "config": "1080p, 32x32 SA, 1 RF",
+        "n_frames": N_FRAMES,
+        "platforms": out,
+    }
+
+
+def measure_service() -> dict:
+    service = EncodingService(
+        ServiceConfig(platform="SysHK", headroom=4.0,
+                      max_queue=2 * SERVICE_STREAMS)
+    )
+    workload = build_workload(
+        SERVICE_STREAMS, n_frames=SERVICE_FRAMES, fps_target=25.0
+    )
+    t0 = time.perf_counter()
+    metrics = service.run(workload)
+    wall_s = time.perf_counter() - t0
+    frames = sum(m.frames for m in metrics.streams)
+    return {
+        "benchmark": "multi-stream service smoke (shared LP cache)",
+        "platform": "SysHK",
+        "streams": SERVICE_STREAMS,
+        "frames_per_stream": SERVICE_FRAMES,
+        "rounds": metrics.rounds,
+        "frames": frames,
+        "lp_cache_hits": service.lp_batch.hits,
+        "lp_cache_misses": service.lp_batch.misses,
+        "lp_cache_hit_rate": round(service.lp_batch.hit_rate, 4),
+        "p95_ms": round(metrics.p95_ms, 3),
+        "deadline_miss_rate": round(metrics.deadline_miss_rate, 4),
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def write(overhead: dict, service: dict) -> None:
+    OVERHEAD_PATH.write_text(json.dumps(overhead, indent=1) + "\n")
+    SERVICE_PATH.write_text(json.dumps(service, indent=1) + "\n")
+    print(f"wrote {OVERHEAD_PATH.name} and {SERVICE_PATH.name}")
+
+
+def check(overhead: dict, service: dict) -> list[str]:
+    """Compare fresh measurements against the committed snapshots."""
+    failures: list[str] = []
+    if not OVERHEAD_PATH.exists() or not SERVICE_PATH.exists():
+        return ["missing committed BENCH_OVERHEAD.json / BENCH_SERVICE.json "
+                "(run with --write and commit the output)"]
+    snap_o = json.loads(OVERHEAD_PATH.read_text())
+    snap_s = json.loads(SERVICE_PATH.read_text())
+
+    for platform, cur in overhead["platforms"].items():
+        if not cur["timelines_identical"]:
+            failures.append(
+                f"{platform}: fast-path timelines diverge from cold path"
+            )
+        snap = snap_o.get("platforms", {}).get(platform)
+        if snap is None:
+            continue
+        rel, snap_rel = cur["relative_overhead"], snap.get("relative_overhead")
+        if rel is not None and snap_rel:
+            if rel > snap_rel * (1 + REGRESSION_TOL):
+                failures.append(
+                    f"{platform}: relative overhead {rel:.4f} regressed "
+                    f">{REGRESSION_TOL:.0%} vs snapshot {snap_rel:.4f}"
+                )
+
+    for key in ("rounds", "frames"):
+        if key in snap_s and service[key] != snap_s[key]:
+            failures.append(
+                f"service {key} changed: {snap_s[key]} -> {service[key]} "
+                "(deterministic count should not move without a model change)"
+            )
+    snap_hr = snap_s.get("lp_cache_hit_rate")
+    if snap_hr:
+        if service["lp_cache_hit_rate"] < snap_hr * (1 - REGRESSION_TOL):
+            failures.append(
+                f"service LP-cache hit rate {service['lp_cache_hit_rate']:.4f}"
+                f" regressed >{REGRESSION_TOL:.0%} vs snapshot {snap_hr:.4f}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and write the root-level snapshots")
+    mode.add_argument("--check", action="store_true",
+                      help="measure, compare vs committed snapshots "
+                           "(exit 1 on regression), then rewrite them")
+    args = ap.parse_args(argv)
+
+    overhead = measure_overhead()
+    service = measure_service()
+    for platform, v in overhead["platforms"].items():
+        print(f"{platform}: cold {v['cold_ms_per_frame']:.3f} ms -> fast "
+              f"{v['fast_ms_per_frame']:.3f} ms ({v['speedup']}x), "
+              f"identical={v['timelines_identical']}")
+    print(f"service: {service['frames']} frames / {service['rounds']} rounds, "
+          f"LP-cache hit rate {service['lp_cache_hit_rate']:.2%}, "
+          f"wall {service['wall_s']:.2f} s")
+
+    if args.check:
+        failures = check(overhead, service)
+        write(overhead, service)
+        if failures:
+            for f in failures:
+                print(f"PERF REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("perf smoke: no regression vs committed snapshots")
+        return 0
+    write(overhead, service)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

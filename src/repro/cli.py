@@ -4,6 +4,7 @@ Exposes the library's main entry points without writing Python::
 
     python -m repro platforms
     python -m repro run --platform SysHK --sa 64 --refs 2 --frames 100
+    python -m repro profile --platform SysHK --frames 50
     python -m repro sweep --what sa|refs
     python -m repro encode in.yuv --size 352x288 --out clip.fevs
     python -m repro decode clip.fevs --out recon.yuv
@@ -306,6 +307,86 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.util.profiling import PhaseProfiler
+
+    cfg = _codec_cfg(args)
+
+    def run_one(fw_cfg: FrameworkConfig) -> tuple[FevesFramework, PhaseProfiler]:
+        profiler = PhaseProfiler()
+        fw = FevesFramework(
+            get_platform(args.platform), cfg, fw_cfg, profiler=profiler
+        )
+        fw.run_model(args.frames)
+        if args.sanitize:
+            from repro.sanitizers import TimelineSanitizer
+
+            with profiler.phase("sanitizer"):
+                report = TimelineSanitizer.for_framework(fw).check_run(fw)
+            if not report.clean:
+                print(f"warning: sanitizer: {report.summary()}", file=sys.stderr)
+        return fw, profiler
+
+    # Fast path (rtol=0 keeps its decisions bit-identical to cold) vs the
+    # cold path with every optimization disabled — same model, same
+    # schedule, different host-side work.
+    fast_fw, fast_prof = run_one(FrameworkConfig(
+        lb_cache_rtol=0.0, lp_warm_start=True, char_cache=True, des_fast=True,
+    ))
+    cold_fw, cold_prof = run_one(FrameworkConfig(
+        lb_cache_rtol=0.0, lp_warm_start=False, char_cache=False, des_fast=False,
+    ))
+
+    def table(label: str, fw: FevesFramework, prof: PhaseProfiler) -> None:
+        rows = [
+            [r["phase"], r["calls"], f"{r['total_ms']:.2f}",
+             f"{r['ms_per_frame']:.3f}", f"{100 * r['share']:.1f}%"]
+            for r in prof.report(args.frames)
+        ]
+        print(format_table(
+            ["phase", "calls", "total ms", "ms/frame", "share"], rows,
+            title=(
+                f"{label}: {args.platform}, {args.frames} frames — "
+                f"LB overhead {fw.scheduling_overhead_ms:.3f} ms/frame"
+            ),
+        ))
+
+    table("fast (warm-start + caches + vectorized DES)", fast_fw, fast_prof)
+    print()
+    table("cold (all optimizations off)", cold_fw, cold_prof)
+    fast_ms = fast_fw.scheduling_overhead_ms
+    cold_ms = cold_fw.scheduling_overhead_ms
+    ratio = cold_ms / fast_ms if fast_ms > 0 else float("inf")
+    print(f"\nper-frame scheduling overhead: cold {cold_ms:.3f} ms -> "
+          f"fast {fast_ms:.3f} ms ({ratio:.1f}x)")
+    same = (
+        fast_fw.frame_times_ms() == cold_fw.frame_times_ms()
+    )
+    print(f"simulated timelines identical: {'yes' if same else 'NO'}")
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps({
+            "platform": args.platform,
+            "frames": args.frames,
+            "sa": args.sa,
+            "refs": args.refs,
+            "fast": {
+                "overhead_ms_per_frame": fast_ms,
+                **fast_prof.to_dict(args.frames),
+            },
+            "cold": {
+                "overhead_ms_per_frame": cold_ms,
+                **cold_prof.to_dict(args.frames),
+            },
+            "speedup": ratio,
+            "timelines_identical": same,
+        }, indent=1))
+        print(f"wrote profile JSON to {args.json}")
+    return 0 if same else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     configs = ("CPU_N", "CPU_H", "GPU_F", "GPU_K", "SysNF", "SysNFF", "SysHK")
 
@@ -561,6 +642,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check per-session timelines and service "
                             "invariants (exit 1 on violations)")
     serve.set_defaults(func=cmd_serve)
+
+    prof = sub.add_parser(
+        "profile",
+        help="per-phase breakdown of the scheduling overhead",
+        description=(
+            "Run the same model-mode encode twice — fast path (warm-start "
+            "LP, characterization caches, vectorized DES) and cold path "
+            "(every optimization disabled) — and attribute the host-side "
+            "per-frame overhead to its phases: Δ-bounds, LP build, LP "
+            "solve, distribution, transfer planning, and DES. Both runs "
+            "use an exact decision cache (rtol=0), so the simulated "
+            "timelines must be bit-identical; exit code 1 if they are not."
+        ),
+    )
+    prof.add_argument("--platform", default="SysHK", choices=list_platforms())
+    prof.add_argument("--sa", type=int, default=32, help="search-area side")
+    prof.add_argument("--refs", type=int, default=1)
+    prof.add_argument("--frames", type=int, default=50)
+    prof.add_argument("--sanitize", action="store_true",
+                      help="also run (and time) the timeline sanitizer")
+    prof.add_argument("--json", metavar="PATH",
+                      help="write the per-phase breakdown as JSON")
+    prof.set_defaults(func=cmd_profile)
 
     sweep = sub.add_parser("sweep", help="regenerate a Fig. 6 table")
     sweep.add_argument("--what", choices=("sa", "refs"), default="sa")

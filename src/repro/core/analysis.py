@@ -13,9 +13,11 @@ paper's evaluation section is built from:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.codec.config import CodecConfig
 from repro.core.coding_manager import FrameReport
+from repro.hw.device import DeviceSpec
 from repro.hw.topology import Platform
 
 
@@ -45,11 +47,12 @@ def utilization_summary(
         raise ValueError("no reports to analyze")
     acc: dict[str, list[float]] = {}
     for rep in window:
+        # One pass per report via the timeline's memoized per-resource
+        # busy table (identical sums to the old per-resource scans).
         # sorted(): set iteration order would otherwise decide the key
         # insertion order of `per_resource`, which leaks into exported
         # summaries under different hash seeds (REP102).
-        resources = {r.resource for r in rep.timeline.records}
-        for res in sorted(resources):
+        for res in sorted(rep.timeline.busy_by_resource()):
             acc.setdefault(res, []).append(rep.timeline.utilization(res))
     return UtilizationSummary(
         per_resource={k: sum(v) / len(v) for k, v in acc.items()}
@@ -65,14 +68,26 @@ def ideal_aggregate_fps(
     rates (harmonic combination of per-row times); ME and INT can overlap
     with nothing else, so the bound simply chains the pooled module times
     plus the best R* block. Real FEVES can approach but never beat this.
+
+    The bound is a pure function of the device specs and the codec
+    config (all frozen), so it is memoized on exactly that key — service
+    sweeps and efficiency plots call it per frame per stream.
     """
     refs = active_refs if active_refs is not None else cfg.num_ref_frames
+    specs = tuple(dev.spec for dev in platform.devices)
+    return _ideal_aggregate_fps_cached(specs, cfg, refs)
+
+
+@lru_cache(maxsize=256)
+def _ideal_aggregate_fps_cached(
+    specs: tuple[DeviceSpec, ...], cfg: CodecConfig, refs: int
+) -> float:
     n = cfg.mb_rows
     total = 0.0
     for module in ("me", "int", "sme"):
         pooled_rate = 0.0
-        for dev in platform.devices:
-            r = dev.spec.rates
+        for spec in specs:
+            r = spec.rates
             per_row = {
                 "me": r.me_row_s(cfg, refs),
                 "int": r.int_row_s(cfg),
@@ -82,9 +97,7 @@ def ideal_aggregate_fps(
         if pooled_rate <= 0:
             raise ValueError(f"platform has no usable rate for {module}")
         total += n / pooled_rate
-    total += min(
-        dev.spec.rates.rstar_frame_s(cfg) for dev in platform.devices
-    )
+    total += min(spec.rates.rstar_frame_s(cfg) for spec in specs)
     return 1.0 / total
 
 

@@ -36,6 +36,7 @@ from repro.core.perf_model import PerformanceCharacterization
 from repro.hw.des import Op, Resource, Simulator
 from repro.hw.timeline import FrameTimeline
 from repro.hw.topology import Platform
+from repro.util.profiling import PhaseProfiler
 
 
 @dataclass
@@ -90,10 +91,12 @@ class VideoCodingManager:
         platform: Platform,
         codec_cfg: CodecConfig,
         fw_cfg: FrameworkConfig,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.platform = platform
         self.codec_cfg = codec_cfg
         self.fw_cfg = fw_cfg
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.host = Resource("host.sync")
         resources = [self.host]
         for dev in platform.devices:
@@ -145,6 +148,10 @@ class VideoCodingManager:
             ``faulted_now`` is non-empty.
         """
         self.sim.reset()
+        # The op-DAG build is timed as "des_build" up to each sim.run call
+        # (manual section because the build spans two exit points).
+        _build = self.profiler.phase("des_build")
+        _build.__enter__()
         cfg = self.codec_cfg
         noise = self.fw_cfg.noise
         devices = self.platform.devices
@@ -377,10 +384,13 @@ class VideoCodingManager:
                 decision, rstar_device, tau2_op, transfer_ops, scale, live_eff
             )
             probe_ops = {}
-            records = self.sim.run(
-                execute_thunks=ctx is not None,
-                parallel_workers=self.fw_cfg.parallel_workers,
-            )
+            _build.__exit__()
+            with self.profiler.phase("des"):
+                records = self.sim.run(
+                    execute_thunks=ctx is not None,
+                    parallel_workers=self.fw_cfg.parallel_workers,
+                    fast=self.fw_cfg.des_fast,
+                )
             tau1 = float(tau1_op.end or 0.0)
             tau2 = float(tau2_op.end or 0.0)
             tau_tot = max(float(op.end or 0.0) for op in tail_ops + [tau2_op])
@@ -465,10 +475,13 @@ class VideoCodingManager:
                 )
 
         # ------------------------- run & harvest ----------------------------
-        records = self.sim.run(
-            execute_thunks=ctx is not None,
-            parallel_workers=self.fw_cfg.parallel_workers,
-        )
+        _build.__exit__()
+        with self.profiler.phase("des"):
+            records = self.sim.run(
+                execute_thunks=ctx is not None,
+                parallel_workers=self.fw_cfg.parallel_workers,
+                fast=self.fw_cfg.des_fast,
+            )
         tau1 = float(tau1_op.end or 0.0)
         tau2 = float(tau2_op.end or 0.0)
         tau_tot = max(float(op.end or 0.0) for op in tail_ops + [tau2_op])

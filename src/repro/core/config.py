@@ -81,6 +81,22 @@ class FrameworkConfig:
         MB rows per module granted to a re-admitted device whose
         characterization was cleared, so it re-measures online without
         the LP having to gamble on unknown speeds.
+    lp_warm_start:
+        Warm-start the per-frame LP: memoize HiGHS solves on the exact
+        bytes of the constraint system and reuse the previous decision
+        outright when every K parameter is bit-identical and the Δ fixed
+        point had converged. Exact by construction — results are
+        bit-identical to cold solves (see DESIGN.md → Performance);
+        disable only to benchmark the cold path.
+    char_cache:
+        Cache derived characterization products (K vectors, per-buffer
+        transfer-K tables, calibration fits) keyed on the
+        characterization version counter, which bumps on every
+        observation and invalidation — so a hit is provably current.
+    des_fast:
+        Use the index-based DES fast path (deque scheduling + vectorized
+        overlap validation). Event order and arithmetic are identical to
+        the reference loop; disable only to benchmark it.
     """
 
     compute: str = "model"
@@ -98,6 +114,9 @@ class FrameworkConfig:
     faults: FaultSchedule = field(default_factory=FaultSchedule)
     fault_detection_timeout_s: float = 0.040
     warmup_rows: int = 2
+    lp_warm_start: bool = True
+    char_cache: bool = True
+    des_fast: bool = True
 
     def __post_init__(self) -> None:
         if self.compute not in COMPUTE_MODES:

@@ -41,6 +41,7 @@ from repro.core.rstar import select_rstar_device
 from repro.hw.interconnect import BufferSizes
 from repro.hw.timeline import EncodingTrace
 from repro.hw.topology import Platform
+from repro.util.profiling import PhaseProfiler
 from repro.util.timing import WallTimer
 
 
@@ -68,16 +69,24 @@ class FevesFramework:
         platform: Platform,
         codec_cfg: CodecConfig,
         fw_cfg: FrameworkConfig | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.platform = platform
         self.codec_cfg = codec_cfg
         self.fw_cfg = fw_cfg or FrameworkConfig()
         sizes = BufferSizes(width=codec_cfg.width, height=codec_cfg.height)
 
+        # Phase-attributed wall-clock accounting (`repro profile`).
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+
         # Algorithm 1, lines 1-2: "detect" devices and instantiate blocks.
         self.perf = PerformanceCharacterization(alpha=self.fw_cfg.ewma_alpha)
-        self.balancer = LoadBalancer(platform, codec_cfg, self.fw_cfg)
-        self.manager = VideoCodingManager(platform, codec_cfg, self.fw_cfg)
+        self.balancer = LoadBalancer(
+            platform, codec_cfg, self.fw_cfg, profiler=self.profiler
+        )
+        self.manager = VideoCodingManager(
+            platform, codec_cfg, self.fw_cfg, profiler=self.profiler
+        )
         self.dam = DataAccessManager(
             platform, sizes, enable_parking=self.fw_cfg.enable_parking
         )
@@ -280,6 +289,10 @@ class FevesFramework:
                 f"all devices faulted at inter frame {idx}; cannot continue"
             )
         if readmitted:
+            # A re-admission changes the live set the cached decision and
+            # fixed-point seed were computed for; a fresh balancer would
+            # hold neither, so drop both (stale-state bugfix).
+            self.balancer.note_live_set_change()
             self._maybe_reselect_rstar()
         if self._rstar_device not in survivors:
             old = self._rstar_device
@@ -305,7 +318,8 @@ class FevesFramework:
                     sigma_r_prev=dict(self.dam.sigma_r_rows),
                     live=live,
                 )
-            plan = self.dam.plan(decision, self._rstar_device, live=survivors)
+            with self.profiler.phase("plan"):
+                plan = self.dam.plan(decision, self._rstar_device, live=survivors)
 
         # Degradation faults enter as genuine slowdowns, never as events:
         # the characterization measures them like any other load change.
@@ -356,6 +370,10 @@ class FevesFramework:
             if ev.duration:
                 why += f" for {ev.duration} frames"
             reasons.append((name, why))
+        if newly_down:
+            # Mirror the perf/DAM eviction in the balancer: its decision
+            # cache and seed describe the pre-fault live set.
+            self.balancer.note_live_set_change()
         if is_init:
             self._maybe_reselect_rstar()
 

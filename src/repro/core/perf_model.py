@@ -75,6 +75,15 @@ class PerformanceCharacterization:
     with a smoothed characterization (``alpha`` < 1), blending against a
     stale prior would stretch Fig. 7's one-frame absorption over many
     frames.
+
+    Version counter
+    ---------------
+    :attr:`version` increments on every state mutation — each accepted
+    observation, installed prior, and invalidation. Consumers caching
+    anything derived from the characterization (K vectors, per-buffer
+    transfer tables, analysis summaries) key their caches on it: a
+    version match proves the cached value equals a fresh recomputation,
+    so version-keyed caching is exact by construction.
     """
 
     def __init__(self, alpha: float = 1.0) -> None:
@@ -82,6 +91,7 @@ class PerformanceCharacterization:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
         self._devices: dict[str, _DeviceState] = {}
+        self.version = 0
 
     def _state(self, device: str) -> _DeviceState:
         return self._devices.setdefault(device, _DeviceState())
@@ -114,10 +124,12 @@ class PerformanceCharacterization:
             if module not in st.k_compute:
                 st.k_compute[module] = seconds / rows
                 st.priors.add(module)
+                self.version += 1
             return
         st.k_compute[module] = self._blend(
             st, module, st.k_compute.get(module), seconds / rows
         )
+        self.version += 1
 
     def observe_rstar(self, device: str, seconds: float, prior: bool = False) -> None:
         """Record a full R* block execution (``prior`` as in observe_compute)."""
@@ -128,8 +140,10 @@ class PerformanceCharacterization:
             if st.rstar_frame_s is None:
                 st.rstar_frame_s = seconds
                 st.priors.add("rstar")
+                self.version += 1
             return
         st.rstar_frame_s = self._blend(st, "rstar", st.rstar_frame_s, seconds)
+        self.version += 1
 
     def observe_transfer(
         self, device: str, direction: str, nbytes: float, seconds: float,
@@ -145,10 +159,12 @@ class PerformanceCharacterization:
             if direction not in st.bw:
                 st.bw[direction] = nbytes / seconds
                 st.priors.add(direction)
+                self.version += 1
             return
         st.bw[direction] = self._blend(
             st, direction, st.bw.get(direction), nbytes / seconds
         )
+        self.version += 1
 
     # --- fault bookkeeping --------------------------------------------------
 
@@ -165,6 +181,7 @@ class PerformanceCharacterization:
         st = self._devices.get(device)
         if st is None:
             return
+        self.version += 1
         if not keep_prior:
             del self._devices[device]
             return

@@ -18,6 +18,7 @@ their own hardware in a few lines:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.codec.config import CodecConfig
 from repro.hw.device import DeviceSpec
@@ -58,7 +59,15 @@ def fit_rates(measurements: list[ModuleTiming]) -> ModuleRates:
     ME samples are normalized by ``(sa_side/32)² · n_refs`` so measurements
     at different settings combine consistently; INT/SME/R* are normalized
     to the 1080p 120-MB row width used by :class:`ModuleRates`.
+
+    Memoized on the (frozen, hashable) measurement tuple: sweep scripts
+    re-fit the same timing set for every configuration point.
     """
+    return _fit_rates_cached(tuple(measurements))
+
+
+@lru_cache(maxsize=256)
+def _fit_rates_cached(measurements: tuple[ModuleTiming, ...]) -> ModuleRates:
     acc: dict[str, list[float]] = {"me": [], "int": [], "sme": [], "rstar": []}
     for m in measurements:
         per_row_us = m.seconds * 1e6 / m.rows
@@ -128,12 +137,15 @@ def calibrate_device(
     return DeviceSpec(name=name, kind=kind, rates=fit_rates(measurements), link=link)
 
 
+@lru_cache(maxsize=256)
 def predict_single_device_fps(spec: DeviceSpec, cfg: CodecConfig) -> float:
     """Analytic fps estimate of the whole inter loop on one device.
 
     Ignores transfer overlap (adds CF upload serially for accelerators) —
     a quick sanity check that a calibrated spec reproduces the measured
-    machine before running full simulations.
+    machine before running full simulations. Pure function of two frozen
+    dataclasses, memoized (speedup/efficiency plots call it per device
+    per sweep point).
     """
     r = spec.rates
     t = (

@@ -17,9 +17,12 @@ each op "runs".
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
+
+import numpy as np
 
 
 @dataclass
@@ -111,12 +114,22 @@ class Simulator:
         self.resources = list(resources)
 
     def run(
-        self, execute_thunks: bool = True, parallel_workers: int = 0
+        self,
+        execute_thunks: bool = True,
+        parallel_workers: int = 0,
+        fast: bool = True,
     ) -> list[OpRecord]:
         """Schedule (and optionally execute) all issued ops.
 
         Returns op records sorted by start time. Raises ``RuntimeError`` on
         a dependency cycle (including cycles through resource ordering).
+
+        ``fast=True`` (default) runs the index-based scheduling loop:
+        integer adjacency lists and a deque replace per-op dict lookups
+        and the O(n) ``list.pop(0)``. The FIFO evaluation order and the
+        start/end arithmetic are exactly those of the reference loop
+        (``fast=False``), so schedules are bit-identical; the flag exists
+        for the equivalence suite and the cold-path benchmark.
 
         ``parallel_workers`` > 1 executes the attached thunks on a thread
         pool, dispatching each op the moment its dependencies complete —
@@ -126,6 +139,42 @@ class Simulator:
         data exchange.
         """
         ops: list[Op] = [op for r in self.resources for op in r.ops]
+        if fast:
+            preds_idx, succs_idx = self._evaluate_fast(
+                ops, execute_thunks, parallel_workers
+            )
+            if execute_thunks and parallel_workers > 1:
+                preds = {
+                    op: [ops[j] for j in preds_idx[k]] for k, op in enumerate(ops)
+                }
+                succs = {
+                    op: [ops[j] for j in succs_idx[k]] for k, op in enumerate(ops)
+                }
+                self._run_thunks_parallel(ops, preds, succs, parallel_workers)
+        else:
+            preds, succs = self._evaluate_reference(
+                ops, execute_thunks, parallel_workers
+            )
+            if execute_thunks and parallel_workers > 1:
+                self._run_thunks_parallel(ops, preds, succs, parallel_workers)
+
+        records = [
+            OpRecord(
+                label=op.label,
+                resource=op.resource.name,
+                category=op.category,
+                start=op.start,  # type: ignore[arg-type]
+                end=op.end,  # type: ignore[arg-type]
+            )
+            for op in ops
+        ]
+        records.sort(key=lambda rec: (rec.start, rec.resource, rec.label))
+        return records
+
+    def _evaluate_reference(
+        self, ops: list[Op], execute_thunks: bool, parallel_workers: int
+    ) -> tuple[dict[Op, list[Op]], dict[Op, list[Op]]]:
+        """Reference Kahn evaluation over per-op dicts (the slow path)."""
         # Effective predecessor sets: explicit deps + previous op in queue.
         preds: dict[Op, list[Op]] = {}
         for r in self.resources:
@@ -172,22 +221,77 @@ class Simulator:
         if done != len(ops):
             stuck = [op.label for op in ops if op.start is None][:8]
             raise RuntimeError(f"dependency cycle involving ops: {stuck}")
+        return preds, succs
 
-        if execute_thunks and parallel_workers > 1:
-            self._run_thunks_parallel(ops, preds, succs, parallel_workers)
+    def _evaluate_fast(
+        self, ops: list[Op], execute_thunks: bool, parallel_workers: int
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """Index-based Kahn evaluation (the fast path).
 
-        records = [
-            OpRecord(
-                label=op.label,
-                resource=op.resource.name,
-                category=op.category,
-                start=op.start,  # type: ignore[arg-type]
-                end=op.end,  # type: ignore[arg-type]
-            )
-            for op in ops
-        ]
-        records.sort(key=lambda rec: (rec.start, rec.resource, rec.label))
-        return records
+        Same traversal as :meth:`_evaluate_reference` — integer adjacency
+        lists built in the identical order, a deque for the FIFO ready
+        queue (``popleft`` ≡ ``pop(0)``), and a running max over plain
+        floats for start times — so every op gets the bit-identical
+        start/end and thunks fire in the identical order.
+        """
+        idx = {op: k for k, op in enumerate(ops)}
+        n = len(ops)
+        preds_idx: list[list[int]] = [[] for _ in range(n)]
+        for r in self.resources:
+            prev = -1
+            for op in r.ops:
+                k = idx[op]
+                lst = preds_idx[k]
+                for d in op.deps:
+                    j = idx.get(d)
+                    if j is None:
+                        raise RuntimeError(
+                            f"op {op.label!r} depends on {d.label!r}, which is not "
+                            "issued on any resource of this simulator"
+                        )
+                    lst.append(j)
+                if prev >= 0:
+                    lst.append(prev)
+                prev = k
+
+        indeg = [len(ps) for ps in preds_idx]
+        succs_idx: list[list[int]] = [[] for _ in range(n)]
+        for k, ps in enumerate(preds_idx):
+            for p in ps:
+                succs_idx[p].append(k)
+
+        serial_thunks = execute_thunks and parallel_workers <= 1
+        ends = [0.0] * n
+        ready = deque(k for k in range(n) if indeg[k] == 0)
+        done = 0
+        while ready:
+            k = ready.popleft()
+            op = ops[k]
+            t0 = 0.0
+            for p in preds_idx[k]:
+                e = ends[p]
+                if e > t0:
+                    t0 = e
+            op.start = t0
+            end = t0 + op.duration
+            op.end = end
+            ends[k] = end
+            if serial_thunks and op.thunk is not None:
+                try:
+                    op.result = op.thunk(op)
+                except Exception as exc:
+                    if not op.fail_ok:
+                        raise
+                    op.error = exc
+            done += 1
+            for s in succs_idx[k]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if done != n:
+            stuck = [op.label for op in ops if op.start is None][:8]
+            raise RuntimeError(f"dependency cycle involving ops: {stuck}")
+        return preds_idx, succs_idx
 
     def _run_thunks_parallel(
         self,
@@ -251,6 +355,17 @@ def validate_schedule(records: list[OpRecord]) -> None:
     """Assert no two ops overlap on the same resource (test helper).
 
     Zero-duration ops (barriers) occupy no time and cannot overlap.
+
+    :meth:`Simulator.run` emits records globally sorted by (start,
+    resource, label), so each resource's sub-sequence already arrives
+    sorted by start; the per-resource re-sort this function used to do on
+    every call was O(n log n) of pure waste on that path. Sortedness by
+    (start, end) is now *detected* in one vectorized pass and the stable
+    re-sort (``np.lexsort`` ≡ ``sorted`` with a (start, end) key) only
+    runs when the input really is unsorted, e.g. hand-built records in
+    tests. Overlaps are then found by one vectorized comparison of
+    consecutive intervals; the first offending pair raises with the same
+    message as the scalar loop did.
     """
     by_res: dict[str, list[OpRecord]] = {}
     for rec in records:
@@ -258,10 +373,24 @@ def validate_schedule(records: list[OpRecord]) -> None:
             by_res.setdefault(rec.resource, []).append(rec)
     eps = 1e-12
     for name, recs in by_res.items():
-        recs = sorted(recs, key=lambda r: (r.start, r.end))
-        for a, b in zip(recs, recs[1:], strict=False):
-            if b.start < a.end - eps:
-                raise AssertionError(
-                    f"overlap on {name}: {a.label}[{a.start:.6f},{a.end:.6f}] vs "
-                    f"{b.label}[{b.start:.6f},{b.end:.6f}]"
-                )
+        if len(recs) < 2:
+            continue
+        starts = np.array([r.start for r in recs])
+        ends = np.array([r.end for r in recs])
+        ds = np.diff(starts)
+        in_order = bool(
+            np.all((ds > 0) | ((ds == 0) & (np.diff(ends) >= 0)))
+        )
+        if not in_order:
+            order = np.lexsort((ends, starts))
+            starts = starts[order]
+            ends = ends[order]
+            recs = [recs[i] for i in order]
+        bad = np.nonzero(starts[1:] < ends[:-1] - eps)[0]
+        if bad.size:
+            i = int(bad[0])
+            a, b = recs[i], recs[i + 1]
+            raise AssertionError(
+                f"overlap on {name}: {a.label}[{a.start:.6f},{a.end:.6f}] vs "
+                f"{b.label}[{b.start:.6f},{b.end:.6f}]"
+            )

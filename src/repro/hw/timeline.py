@@ -61,10 +61,28 @@ class FrameTimeline:
     tau1: float = 0.0
     tau2: float = 0.0
     tau_tot: float = 0.0
+    _busy: dict[str, float] | None = field(default=None, repr=False, compare=False)
+
+    def busy_by_resource(self) -> dict[str, float]:
+        """Busy seconds per resource, computed in one pass and memoized.
+
+        Accumulating per resource in record order adds the same floats in
+        the same order as the per-resource filtered scans did, so the
+        sums are bit-identical; callers iterating over many resources go
+        from O(records × resources) to O(records). Records are treated
+        as immutable once the timeline exists (they are — the simulator
+        emits them once per frame).
+        """
+        if self._busy is None:
+            busy: dict[str, float] = {}
+            for r in self.records:
+                busy[r.resource] = busy.get(r.resource, 0.0) + r.duration
+            self._busy = busy
+        return self._busy
 
     def busy_time(self, resource: str) -> float:
         """Total occupied simulated seconds of a resource."""
-        return sum(r.duration for r in self.records if r.resource == resource)
+        return self.busy_by_resource().get(resource, 0.0)
 
     def utilization(self, resource: str) -> float:
         """Busy fraction of a resource over the frame makespan."""

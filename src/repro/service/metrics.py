@@ -20,14 +20,23 @@ from repro.service.session import EncodingSession
 
 
 def latency_percentiles_ms(latencies_s: list[float]) -> dict[str, float]:
-    """p50/p95/p99 of a latency sample, in milliseconds."""
+    """p50/p95/p99 of a latency sample, in milliseconds.
+
+    Interpolation is pinned to numpy's ``method="linear"`` (percentile
+    ``q`` maps to fractional order statistic ``(n-1)·q/100``, linearly
+    interpolated between neighbours) so small samples — service smoke
+    runs routinely produce n < 20 — give the same values on every numpy
+    version regardless of its default-method history. Edge cases: an
+    empty sample reports 0.0 for every percentile; a single sample
+    reports that value for all three.
+    """
     if not latencies_s:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-    arr = np.asarray(latencies_s) * 1e3
+    arr = np.asarray(latencies_s, dtype=float) * 1e3
     return {
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "p99": float(np.percentile(arr, 99)),
+        "p50": float(np.percentile(arr, 50, method="linear")),
+        "p95": float(np.percentile(arr, 95, method="linear")),
+        "p99": float(np.percentile(arr, 99, method="linear")),
     }
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.load_balancing import LPSolveCache
 from repro.service.session import EncodingSession
 
 
@@ -46,6 +47,44 @@ class SchedulerConfig:
             )
         if not 0 < self.min_share <= 1.0:
             raise ValueError(f"min_share must be in (0, 1], got {self.min_share}")
+
+
+class RoundLPBatch:
+    """Batches the per-session LP solves of a scheduling round.
+
+    Every admitted session solves a structurally identical Algorithm-2 LP
+    against its private characterization each round; sessions holding
+    equal capacity shares of the same platform measure bit-equal K
+    parameters and therefore assemble byte-identical constraint systems.
+    Handing all sessions one shared :class:`LPSolveCache` collapses those
+    N solves into one HiGHS call per *unique* system per round — batching
+    by exact deduplication, so every session still receives precisely the
+    solution its own cold solve would have produced (the cache key is the
+    full constraint bytes; see DESIGN.md → Performance).
+
+    Uniform mixes (the saturation benchmark: identical specs, equal
+    shares) dedupe almost completely; heterogeneous mixes still share
+    solves whenever the co-scheduler grants equal shares.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.cache = LPSolveCache(max_entries=max_entries)
+
+    def attach(self, session: EncodingSession) -> None:
+        """Point one session's balancer at the shared solve cache."""
+        session.framework.balancer.use_lp_cache(self.cache)
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
 
 
 class CoScheduler:

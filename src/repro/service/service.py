@@ -40,7 +40,7 @@ from repro.hw.noise import FaultSchedule
 from repro.hw.presets import get_platform
 from repro.service.admission import AdmissionController, CapacityModel
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import CoScheduler, SchedulerConfig
+from repro.service.scheduler import CoScheduler, RoundLPBatch, SchedulerConfig
 from repro.service.session import EncodingSession, StreamSpec
 
 
@@ -98,6 +98,7 @@ class EncodingService:
             max_queue=self.cfg.max_queue,
         )
         self.scheduler = CoScheduler(self.cfg.scheduler)
+        self.lp_batch = RoundLPBatch()
         self.sessions: list[EncodingSession] = []
         self.now = 0.0
         self.rounds = 0
@@ -117,6 +118,7 @@ class EncodingService:
         session = EncodingSession(
             spec, self.cfg.platform, faults=self.cfg.faults
         )
+        self.lp_batch.attach(session)
         self.sessions.append(session)
         self.admission.offer(session, self.now, live)
         return session

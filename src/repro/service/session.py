@@ -256,8 +256,8 @@ class EncodingSession:
         # scaled clock × its share of the engine.
         timeline = outcome.report.timeline
         busy = {
-            res: timeline.busy_time(res) * share
-            for res in sorted({r.resource for r in timeline.records})
+            res: b * share
+            for res, b in sorted(timeline.busy_by_resource().items())
         }
         capture = self.next_capture_s()
         rec = FrameRecord(

@@ -1,0 +1,133 @@
+"""Per-phase wall-clock attribution of the scheduling hot path.
+
+The paper's <2 ms overhead claim is one number; optimizing it needs a
+breakdown. :class:`PhaseProfiler` attributes real wall time to the named
+phases of one frame's scheduling work — LP constraint build, LP solve,
+Δ-bounds computation, distribution rounding/finalization, transfer
+planning, DES evaluation, and (when run) the sanitizer pass — via nested
+``with profiler.phase("..."):`` sections, the same pattern as
+:class:`~repro.util.timing.WallTimer` (simulated time never flows through
+here; this is host-side bookkeeping only).
+
+Phases are cheap enough to leave always-on: one ``perf_counter`` pair per
+section, a few dozen sections per frame.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+#: Canonical phase order for reports (unknown phases append after these).
+PHASE_ORDER = (
+    "bounds",
+    "lp_build",
+    "lp_solve",
+    "distribution",
+    "plan",
+    "des_build",
+    "des",
+    "sanitizer",
+)
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall time of one phase."""
+
+    total_s: float = 0.0
+    calls: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class _PhaseSection:
+    """Reusable context manager timing one named phase (not reentrant)."""
+
+    __slots__ = ("_stats", "_t0")
+
+    def __init__(self, stats: PhaseStats) -> None:
+        self._stats = stats
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseSection":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stats.total_s += time.perf_counter() - self._t0
+        self._stats.calls += 1
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time across frames.
+
+    One profiler instance spans a whole encoding run; divide by the frame
+    count for per-frame attribution (see :meth:`report`).
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, PhaseStats] = {}
+        self._sections: dict[str, _PhaseSection] = {}
+
+    def phase(self, name: str) -> _PhaseSection:
+        """Context manager accumulating into the named phase."""
+        section = self._sections.get(name)
+        if section is None:
+            stats = self._stats.setdefault(name, PhaseStats())
+            section = _PhaseSection(stats)
+            self._sections[name] = section
+        return section
+
+    def stats(self, name: str) -> PhaseStats:
+        """Stats of one phase (zeros if it never ran)."""
+        return self._stats.get(name, PhaseStats())
+
+    @property
+    def phases(self) -> list[str]:
+        """Observed phases in canonical order, then first-seen order."""
+        known = [p for p in PHASE_ORDER if p in self._stats]
+        extra = [p for p in self._stats if p not in PHASE_ORDER]
+        return known + extra
+
+    def total_s(self) -> float:
+        """Wall seconds across all phases."""
+        return sum(s.total_s for s in self._stats.values())
+
+    def reset(self) -> None:
+        """Zero all accumulated stats, keeping section objects usable."""
+        for stats in self._stats.values():
+            stats.total_s = 0.0
+            stats.calls = 0
+
+    def report(self, n_frames: int = 1) -> list[dict]:
+        """Per-phase rows: name, calls, total/per-frame ms, share of total.
+
+        ``n_frames`` normalizes the per-frame column; the share column is
+        the phase's fraction of all profiled time.
+        """
+        frames = max(1, n_frames)
+        total = self.total_s()
+        rows = []
+        for name in self.phases:
+            st = self._stats[name]
+            rows.append(
+                {
+                    "phase": name,
+                    "calls": st.calls,
+                    "total_ms": st.total_s * 1e3,
+                    "ms_per_frame": st.total_s * 1e3 / frames,
+                    "share": (st.total_s / total) if total > 0 else 0.0,
+                }
+            )
+        return rows
+
+    def to_dict(self, n_frames: int = 1) -> dict:
+        """JSON-friendly snapshot (used by ``repro profile --json``)."""
+        return {
+            "total_ms": self.total_s() * 1e3,
+            "frames": n_frames,
+            "phases": self.report(n_frames),
+        }

@@ -1,0 +1,198 @@
+"""Scheduling fast path: warm-start LP, characterization caches, and the
+stale-state bugfix sweep around eviction/re-admission.
+
+The end-to-end bit-identity of every optimization is property-tested in
+``tests/sanitizers/test_fast_path_equivalence.py``; these tests pin the
+mechanisms — cache hits actually happen, version counters actually bump,
+live-set changes actually clear the per-frame caches — and the satellite
+bugfix: a fault-then-readmit run must make bit-identical decisions to a
+cold solver, which only holds if eviction/re-admission invalidates the
+warm-start state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.core.load_balancing import LoadBalancer, LPSolveCache
+from repro.core.perf_model import PerformanceCharacterization
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.hw.presets import get_platform
+
+CFG = CodecConfig(width=704, height=576)  # 4CIF keeps runs fast
+
+EXACT = dict(lb_cache_rtol=0.0, lp_warm_start=True, char_cache=True,
+             des_fast=True)
+COLD = dict(lb_cache_rtol=0.0, lp_warm_start=False, char_cache=False,
+            des_fast=False)
+
+
+def run(platform="SysHK", frames=8, faults=None, **fw_kwargs):
+    fw = FevesFramework(
+        get_platform(platform), CFG,
+        FrameworkConfig(faults=faults or FaultSchedule(), **fw_kwargs),
+    )
+    for _ in range(frames):
+        fw.encode_next_inter()
+    return fw
+
+
+def decisions(fw):
+    return [
+        (r.decision.m.rows, r.decision.l.rows, r.decision.s.rows,
+         r.timeline.tau1, r.timeline.tau2, r.timeline.tau_tot)
+        for r in fw.reports
+    ]
+
+
+class TestLPSolveCache:
+    def tiny_lp(self):
+        # minimize x  s.t.  x >= 0.5,  x + y = 1
+        c = np.array([1.0, 0.0])
+        a_ub = np.array([[-1.0, 0.0]])
+        b_ub = np.array([-0.5])
+        a_eq = np.array([[1.0, 1.0]])
+        b_eq = np.array([1.0])
+        bounds = [(0.0, None), (0.0, None)]
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def test_hit_returns_the_same_solution_object(self):
+        cache = LPSolveCache()
+        x1 = cache.solve(*self.tiny_lp())
+        x2 = cache.solve(*self.tiny_lp())
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert x2 is x1  # bit-identical by construction
+        assert x1 is not None and x1[0] == pytest.approx(0.5)
+        assert not x1.flags.writeable
+
+    def test_distinct_systems_are_not_conflated(self):
+        cache = LPSolveCache()
+        c, a_ub, b_ub, a_eq, b_eq, bounds = self.tiny_lp()
+        x1 = cache.solve(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        x2 = cache.solve(c, a_ub, np.array([-0.75]), a_eq, b_eq, bounds)
+        assert cache.misses == 2 and cache.hits == 0
+        assert x1 is not None and x2 is not None
+        assert x1[0] != x2[0]
+
+    def test_fifo_eviction_bounds_the_table(self):
+        cache = LPSolveCache(max_entries=1)
+        c, a_ub, b_ub, a_eq, b_eq, bounds = self.tiny_lp()
+        cache.solve(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        cache.solve(c, a_ub, np.array([-0.75]), a_eq, b_eq, bounds)  # evicts
+        cache.solve(c, a_ub, b_ub, a_eq, b_eq, bounds)  # miss again
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_infeasible_cached_as_none(self):
+        cache = LPSolveCache()
+        c, a_ub, _, a_eq, b_eq, bounds = self.tiny_lp()
+        bad = np.array([-2.0])  # x >= 2 contradicts x + y = 1, y >= 0
+        assert cache.solve(c, a_ub, bad, a_eq, b_eq, bounds) is None
+        assert cache.solve(c, a_ub, bad, a_eq, b_eq, bounds) is None
+        assert (cache.misses, cache.hits) == (1, 1)
+
+
+class TestWarmStart:
+    def test_steady_state_hits_the_cache(self):
+        fw = run(**EXACT)
+        cache = fw.balancer.lp_cache
+        assert cache is not None
+        assert cache.hits > 0, "steady state never reused an LP solve"
+
+    def test_cold_config_has_no_cache(self):
+        fw = run(frames=3, **COLD)
+        assert fw.balancer.lp_cache is None
+
+    def test_note_live_set_change_clears_warm_state(self):
+        fw = run(frames=6, **EXACT)
+        b = fw.balancer
+        assert b._cache_decision is not None  # steady state reached
+        b.note_live_set_change()
+        assert b._cache_decision is None
+        assert b._cache_ks is None
+        assert b._cache_key is None
+        assert b._seed is None
+        assert b._lp_converged is False
+
+    def test_shared_cache_adoption_respects_flag(self):
+        shared = LPSolveCache()
+        fast = LoadBalancer(get_platform("SysHK"), CFG,
+                            FrameworkConfig(**EXACT))
+        fast.use_lp_cache(shared)
+        assert fast.lp_cache is shared
+        cold = LoadBalancer(get_platform("SysHK"), CFG,
+                            FrameworkConfig(**COLD))
+        cold.use_lp_cache(shared)
+        assert cold.lp_cache is None  # warm start disabled: stays cold
+
+
+class TestCharacterizationVersioning:
+    def test_version_bumps_on_observations_and_invalidation(self):
+        perf = PerformanceCharacterization()
+        v0 = perf.version
+        perf.observe_compute("dev", "me", rows=10, seconds=0.01)
+        v1 = perf.version
+        assert v1 > v0
+        perf.observe_transfer("dev", "h2d", nbytes=1e6, seconds=1e-3)
+        v2 = perf.version
+        assert v2 > v1
+        perf.invalidate("dev")
+        assert perf.version > v2
+
+    def test_invalidate_unknown_device_does_not_bump(self):
+        perf = PerformanceCharacterization()
+        v0 = perf.version
+        perf.invalidate("ghost")
+        assert perf.version == v0
+
+    def test_kt_cache_tracks_perf_version(self):
+        perf = PerformanceCharacterization()
+        perf.observe_transfer("GPU_K", "h2d", nbytes=1e9, seconds=1.0)
+        b = LoadBalancer(get_platform("SysHK"), CFG, FrameworkConfig(**EXACT))
+        k1 = b._kt_lookup(perf)("GPU_K", "rf", "h2d")
+        assert k1 is not None and k1 > 0
+        # alpha=1.0: a new observation replaces the estimate outright;
+        # halving the bandwidth must double the per-row transfer K.
+        perf.observe_transfer("GPU_K", "h2d", nbytes=1e9, seconds=2.0)
+        k2 = b._kt_lookup(perf)("GPU_K", "rf", "h2d")
+        assert k2 == pytest.approx(2 * k1)
+
+    def test_kt_cache_disabled_without_flag(self):
+        perf = PerformanceCharacterization()
+        perf.observe_transfer("GPU_K", "h2d", nbytes=1e9, seconds=1.0)
+        b = LoadBalancer(get_platform("SysHK"), CFG, FrameworkConfig(**COLD))
+        assert b._kt_lookup(perf)("GPU_K", "rf", "h2d") is not None
+        assert b._kt_cache == {}  # nothing memoized on the cold path
+
+
+class TestFaultThenReadmit:
+    """The satellite bugfix: eviction/re-admission must not leak stale
+    warm-start state into post-fault decisions."""
+
+    HANG = FaultSchedule(events=(
+        FaultEvent(frame=3, device="GPU_K", kind="hang", duration=2),
+    ))
+
+    def test_hang_readmit_bit_identical_to_cold_solver(self):
+        fast = run(frames=9, faults=self.HANG, **EXACT)
+        cold = run(frames=9, faults=self.HANG, **COLD)
+        assert decisions(fast) == decisions(cold)
+        assert list(fast.fault_log) == list(cold.fault_log)
+        # The fault actually happened (otherwise this test is vacuous)...
+        assert any(e.evicted for e in fast.fault_log)
+        assert any(e.readmitted for e in fast.fault_log)
+        # ...and the fast path actually engaged its caches.
+        assert fast.balancer.lp_cache is not None
+        assert fast.balancer.lp_cache.hits > 0
+
+    def test_dropout_bit_identical_to_cold_solver(self):
+        faults = FaultSchedule(events=(
+            FaultEvent(frame=3, device="GPU_K", kind="dropout"),
+        ))
+        fast = run(frames=7, faults=faults, **EXACT)
+        cold = run(frames=7, faults=faults, **COLD)
+        assert decisions(fast) == decisions(cold)
+        assert list(fast.fault_log) == list(cold.fault_log)

@@ -1,0 +1,143 @@
+"""Fast DES evaluation vs the reference Kahn loop, and validate_schedule.
+
+``Simulator.run(fast=True)`` (the default) evaluates the event graph with
+index-based adjacency and a deque ready-queue; ``fast=False`` keeps the
+original dict-based reference loop. Both must emit the same ops with the
+same float start/end times in the same record order, fault or no fault.
+
+``validate_schedule`` was rewritten to skip the unconditional re-sort
+when records are already in (start, end) order per resource — the common
+case, since the simulator emits them sorted. These tests pin that its
+observable behavior (what passes, what raises, and with which message)
+did not move.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hw.des import Op, OpRecord, Resource, Simulator, validate_schedule
+
+
+def random_graph(seed: int, n_res: int = 3, n_ops: int = 24):
+    """Random DAG over a few resources; deps only point backwards."""
+    rng = random.Random(seed)
+    resources = [Resource(f"r{i}") for i in range(n_res)]
+    ops: list[Op] = []
+    for k in range(n_ops):
+        deps = rng.sample(ops, k=min(len(ops), rng.randint(0, 2)))
+        ops.append(Op(
+            f"op{k}",
+            rng.choice(resources),
+            rng.choice((0.0, 0.25, 0.5, 1.0, 1.75)),
+            deps=deps,
+        ))
+    return resources
+
+
+def run_records(seed: int, fast: bool):
+    recs = Simulator(random_graph(seed)).run(fast=fast)
+    return [(r.label, r.resource, r.category, r.start, r.end) for r in recs]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fast_matches_reference_on_random_dags(seed):
+    assert run_records(seed, fast=True) == run_records(seed, fast=False)
+
+
+def test_fast_matches_reference_with_thunks():
+    def build():
+        order = []
+        r1, r2 = Resource("r1"), Resource("r2")
+        a = Op("a", r1, 2.0, thunk=lambda op: order.append("a"))
+        b = Op("b", r2, 1.0, deps=[a], thunk=lambda op: order.append("b"))
+        Op("c", r1, 0.5, deps=[b], thunk=lambda op: order.append("c"))
+        return Simulator([r1, r2]), order
+
+    sim_fast, order_fast = build()
+    recs_fast = sim_fast.run(fast=True)
+    sim_ref, order_ref = build()
+    recs_ref = sim_ref.run(fast=False)
+    assert order_fast == order_ref == ["a", "b", "c"]
+    assert recs_fast == recs_ref
+
+
+def test_fast_detects_cycles_like_reference():
+    for fast in (True, False):
+        r1, r2 = Resource("r1"), Resource("r2")
+        a = Op("a", r1, 1.0)
+        b = Op("b", r2, 1.0, deps=[a])
+        a.deps.append(b)
+        with pytest.raises(RuntimeError, match="cycle"):
+            Simulator([r1, r2]).run(fast=fast)
+
+
+def test_fast_start_end_are_python_floats():
+    """The determinism digests hash ``repr(op.start)``; numpy scalars
+    would change the repr without changing the value."""
+    r = Resource("r")
+    a = Op("a", r, 1.5)
+    b = Op("b", r, 0.5)
+    Simulator([r]).run(fast=True)
+    for op in (a, b):
+        assert type(op.start) is float
+        assert type(op.end) is float
+
+
+class TestValidateSchedule:
+    def test_sorted_input_passes_without_resort(self):
+        recs = [
+            OpRecord("a", "r", "compute", 0.0, 1.0),
+            OpRecord("b", "r", "compute", 1.0, 2.0),
+            OpRecord("c", "q", "compute", 0.5, 0.75),
+        ]
+        validate_schedule(recs)  # must not raise
+
+    def test_unsorted_input_still_validated(self):
+        """Out-of-order records are re-sorted before the overlap check —
+        the skip-resort fast path must not change what is accepted."""
+        recs = [
+            OpRecord("b", "r", "compute", 1.0, 2.0),
+            OpRecord("a", "r", "compute", 0.0, 1.0),
+        ]
+        validate_schedule(recs)  # valid schedule, merely unsorted
+
+    def test_unsorted_overlap_detected(self):
+        recs = [
+            OpRecord("b", "r", "compute", 1.0, 3.0),
+            OpRecord("a", "r", "compute", 0.0, 2.0),
+        ]
+        with pytest.raises(AssertionError, match="overlap"):
+            validate_schedule(recs)
+
+    def test_sorted_overlap_detected(self):
+        recs = [
+            OpRecord("a", "r", "compute", 0.0, 2.0),
+            OpRecord("b", "r", "compute", 1.0, 3.0),
+        ]
+        with pytest.raises(AssertionError, match="overlap"):
+            validate_schedule(recs)
+
+    def test_zero_duration_records_ignored(self):
+        recs = [
+            OpRecord("a", "r", "compute", 0.0, 2.0),
+            OpRecord("tau", "r", "compute", 1.0, 1.0),  # instantaneous marker
+        ]
+        validate_schedule(recs)
+
+    def test_back_to_back_zero_gap_passes(self):
+        recs = [
+            OpRecord("a", "r", "compute", 0.0, 1.0),
+            OpRecord("b", "r", "compute", 1.0, 1.5),
+        ]
+        validate_schedule(recs)
+
+    def test_equal_starts_ordered_by_end(self):
+        """Ties on start are broken by end (the stable lexsort key)."""
+        recs = [
+            OpRecord("b", "r", "compute", 0.0, 0.0),
+            OpRecord("a", "r", "compute", 0.0, 1.0),
+        ]
+        validate_schedule(recs)

@@ -1,0 +1,76 @@
+"""Fast-path equivalence property: every optimization is bit-identical.
+
+The warm-start LP, the characterization caches, and the vectorized DES
+are pure performance work — with the rtol decision cache disabled
+(``lb_cache_rtol=0.0``) they must reproduce the cold path's output
+*exactly*: same timeline records (same floats), same distributions, same
+taus, same fault log. This property drives random platforms × codecs ×
+fault schedules through the cold configuration and through each
+optimization toggled individually (plus all together) and diffs the full
+run digests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+
+from test_property import framework_scenarios
+
+COLD = dict(lb_cache_rtol=0.0, lp_warm_start=False, char_cache=False,
+            des_fast=False)
+
+#: Each optimization alone, then all together.
+VARIANTS = (
+    ("lp_warm_start", dict(COLD, lp_warm_start=True)),
+    ("char_cache", dict(COLD, char_cache=True)),
+    ("des_fast", dict(COLD, des_fast=True)),
+    ("all", dict(COLD, lp_warm_start=True, char_cache=True, des_fast=True)),
+)
+
+
+def run_digest(platform_name, codec, faults, frames, fw_kwargs):
+    """Full bit-level digest of a run (None if faults killed every device)."""
+    fw = FevesFramework(
+        get_platform(platform_name), codec,
+        FrameworkConfig(faults=faults, **fw_kwargs),
+    )
+    try:
+        for _ in range(frames):
+            fw.encode_next_inter()
+    except RuntimeError:
+        return None
+    return {
+        "records": [
+            [(r.label, r.resource, r.category, r.start, r.end)
+             for r in rep.timeline.records]
+            for rep in fw.reports
+        ],
+        "taus": [
+            (rep.timeline.tau1, rep.timeline.tau2, rep.timeline.tau_tot)
+            for rep in fw.reports
+        ],
+        "distributions": [
+            (rep.decision.m.rows, rep.decision.l.rows, rep.decision.s.rows)
+            for rep in fw.reports
+        ],
+        "fault_log": list(fw.fault_log),
+    }
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(framework_scenarios())
+def test_each_optimization_is_bit_identical_to_cold(scenario):
+    platform_name, codec, faults, frames = scenario
+    cold = run_digest(platform_name, codec, faults, frames, COLD)
+    for name, kwargs in VARIANTS:
+        got = run_digest(platform_name, codec, faults, frames, kwargs)
+        assert got == cold, (
+            f"optimization {name!r} diverged from the cold path on "
+            f"{platform_name} with faults={faults.events}"
+        )

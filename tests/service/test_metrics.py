@@ -1,0 +1,102 @@
+"""Service metrics: pinned percentile interpolation and the shared LP cache.
+
+``latency_percentiles_ms`` historically relied on numpy's *default*
+percentile method, which numpy has renamed/re-documented across versions
+and which makes small-sample values (service smoke runs routinely have
+n < 20) an implementation detail. It is now pinned to ``method="linear"``
+(fractional order statistic ``(n-1)·q/100``, interpolated); these tests
+fix the exact values so any drift — numpy's or ours — fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import latency_percentiles_ms
+from repro.service.scheduler import RoundLPBatch
+from repro.service.service import EncodingService, ServiceConfig
+from repro.service.session import StreamSpec
+
+
+class TestLatencyPercentiles:
+    def test_empty_sample_is_all_zeros(self):
+        assert latency_percentiles_ms([]) == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample_reports_that_value(self):
+        got = latency_percentiles_ms([0.040])
+        assert got["p50"] == pytest.approx(40.0)
+        assert got["p95"] == pytest.approx(40.0)
+        assert got["p99"] == pytest.approx(40.0)
+
+    def test_two_samples_interpolate_linearly(self):
+        got = latency_percentiles_ms([0.010, 0.030])
+        assert got["p50"] == pytest.approx(20.0)
+        assert got["p95"] == pytest.approx(29.0)
+        assert got["p99"] == pytest.approx(29.8)
+
+    def test_four_samples_exact_linear_values(self):
+        # n=4: order statistic index (n-1)·q/100 = 3·q/100.
+        # p50 -> 1.5 -> 25.0; p95 -> 2.85 -> 38.5; p99 -> 2.97 -> 39.7.
+        got = latency_percentiles_ms([0.010, 0.020, 0.030, 0.040])
+        assert got["p50"] == pytest.approx(25.0)
+        assert got["p95"] == pytest.approx(38.5)
+        assert got["p99"] == pytest.approx(39.7)
+
+    def test_order_invariant(self):
+        a = latency_percentiles_ms([0.010, 0.040, 0.020, 0.030])
+        b = latency_percentiles_ms([0.040, 0.030, 0.020, 0.010])
+        assert a == b
+
+    def test_identical_samples_degenerate(self):
+        got = latency_percentiles_ms([0.025] * 7)
+        assert got == {"p50": 25.0, "p95": 25.0, "p99": 25.0}
+
+
+class TestSharedLPCache:
+    def test_sessions_share_one_solve_cache(self):
+        service = EncodingService(ServiceConfig(platform="SysHK", headroom=4.0))
+        workload = [
+            StreamSpec(stream_id=f"s{k}", n_frames=4, width=704, height=576)
+            for k in range(3)
+        ]
+        service.run(workload)
+        for session in service.sessions:
+            assert session.framework.balancer.lp_cache is service.lp_batch.cache
+        # Equal shares of identical streams build byte-identical LPs:
+        # the cross-session dedup must actually fire.
+        assert service.lp_batch.hits > 0
+        assert 0.0 < service.lp_batch.hit_rate <= 1.0
+
+    def test_single_stream_unaffected_by_sharing(self):
+        """One session at share 1.0 must stay bit-identical to a
+        standalone run (the service's standing invariant)."""
+        from repro.codec.config import CodecConfig
+        from repro.core.config import FrameworkConfig
+        from repro.core.framework import FevesFramework
+        from repro.hw.presets import get_platform
+
+        spec = StreamSpec(stream_id="solo", n_frames=5, width=704, height=576)
+        service = EncodingService(ServiceConfig(platform="SysHK"))
+        service.run([spec])
+
+        fw = FevesFramework(
+            get_platform("SysHK"),
+            CodecConfig(width=704, height=576),
+            FrameworkConfig(),
+        )
+        for _ in range(5):
+            fw.encode_next_inter()
+        [session] = service.sessions
+        got = [r.timeline.tau_tot for r in session.framework.reports]
+        want = [r.timeline.tau_tot for r in fw.reports]
+        assert got == want
+
+
+class TestRoundLPBatch:
+    def test_counters_passthrough(self):
+        batch = RoundLPBatch()
+        assert batch.hits == 0
+        assert batch.misses == 0
+        assert batch.hit_rate == 0.0
