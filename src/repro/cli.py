@@ -112,6 +112,39 @@ def _add_fault_args(sub: argparse.ArgumentParser) -> None:
                      help="slow a device's copy engines by FACTOR")
 
 
+def _add_workload_args(sub: argparse.ArgumentParser) -> None:
+    """Stream-workload flags shared by ``serve`` and ``fleet``.
+
+    ``--streams``/``--arrival-rate`` default to None so a clash with
+    ``--submit`` (which replaces the generated workload entirely) can be
+    detected and rejected instead of silently ignored.
+    """
+    sub.add_argument("--streams", type=int, default=None,
+                     help="number of generated streams (default 4; "
+                          "cannot be combined with --submit)")
+    sub.add_argument("--frames", type=int, default=30,
+                     help="inter frames per stream")
+    sub.add_argument("--fps", type=float, default=25.0,
+                     help="per-stream target fps (uniform mix)")
+    sub.add_argument("--deadline-class", default="standard",
+                     choices=("realtime", "standard", "background"))
+    sub.add_argument("--mix", default="uniform",
+                     choices=("uniform", "broadcast", "conference"),
+                     help="stream-mix preset cycled over the workload")
+    sub.add_argument("--arrival-rate", type=float, default=None,
+                     help="Poisson arrival rate in streams/s (default 0 = "
+                          "burst; cannot be combined with --submit)")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="arrival-process RNG seed")
+    sub.add_argument("--sa", type=int, default=32, help="search-area side")
+    sub.add_argument("--refs", type=int, default=1)
+    sub.add_argument("--submit", action="append",
+                     metavar="AT:FPS:FRAMES[:CLASS]",
+                     help="scripted submission (repeatable); takes the "
+                          "place of the generated workload, so --streams "
+                          "and --arrival-rate are rejected alongside it")
+
+
 def _codec_cfg(args: argparse.Namespace) -> CodecConfig:
     slices = getattr(args, "slices", 1)
     return CodecConfig(
@@ -204,35 +237,57 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_workload(args: argparse.Namespace) -> list:
+    """Build the stream workload for ``serve``/``fleet``.
+
+    ``--submit`` replaces the generated workload entirely, so combining
+    it with the generator's shape flags would silently ignore them —
+    that clash is rejected eagerly, naming the offending flag.
+    """
+    from repro.service import build_workload, parse_submit_specs
+
+    if args.submit:
+        clash = [
+            flag
+            for flag, value in (
+                ("--streams", args.streams),
+                ("--arrival-rate", args.arrival_rate),
+            )
+            if value is not None
+        ]
+        if clash:
+            raise SystemExit(
+                f"error: {' and '.join(clash)} cannot be combined with "
+                f"--submit: scripted submissions define their own stream "
+                f"count and arrival times"
+            )
+        try:
+            return parse_submit_specs(args.submit)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    try:
+        return build_workload(
+            n_streams=args.streams if args.streams is not None else 4,
+            n_frames=args.frames,
+            fps_target=args.fps,
+            deadline_class=args.deadline_class,
+            mix=args.mix,
+            arrival_rate=(
+                args.arrival_rate if args.arrival_rate is not None else 0.0
+            ),
+            seed=args.seed,
+            search_range=args.sa // 2,
+            num_ref_frames=args.refs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import (
-        EncodingService,
-        ServiceConfig,
-        build_workload,
-        parse_submit_specs,
-    )
+    from repro.service import EncodingService, ServiceConfig
 
     faults = _fault_schedule(args)
-    if args.submit:
-        try:
-            workload = parse_submit_specs(args.submit)
-        except ValueError as exc:
-            raise SystemExit(f"error: {exc}") from None
-    else:
-        try:
-            workload = build_workload(
-                n_streams=args.streams,
-                n_frames=args.frames,
-                fps_target=args.fps,
-                deadline_class=args.deadline_class,
-                mix=args.mix,
-                arrival_rate=args.arrival_rate,
-                seed=args.seed,
-                search_range=args.sa // 2,
-                num_ref_frames=args.refs,
-            )
-        except ValueError as exc:
-            raise SystemExit(f"error: {exc}") from None
+    workload = _serve_workload(args)
     try:
         service = EncodingService(
             ServiceConfig(
@@ -299,6 +354,141 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.sanitizers import TimelineSanitizer
 
         report = TimelineSanitizer.check_service(service)
+        print(report.summary())
+        for v in report.violations[:20]:
+            print(f"  {v}")
+        if not report.clean:
+            return 1
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        AutoscaleConfig,
+        Cluster,
+        ClusterConfig,
+        NodeSpec,
+        parse_node_fault_specs,
+    )
+
+    workload = _serve_workload(args)
+    try:
+        node_faults = parse_node_fault_specs(args.node_fault or [])
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    platforms = [p.strip() for p in args.platforms.split(",") if p.strip()]
+    if not platforms:
+        raise SystemExit("error: --platforms must name at least one platform")
+    for name in platforms:
+        if name not in list_platforms():
+            raise SystemExit(
+                f"error: unknown platform {name!r} in --platforms "
+                f"(available: {', '.join(list_platforms())})"
+            )
+    if args.nodes < 1:
+        raise SystemExit(f"error: --nodes must be >= 1, got {args.nodes}")
+    specs = tuple(
+        NodeSpec(
+            node_id=f"n{i}",
+            platform=platforms[i % len(platforms)],
+            headroom=args.headroom,
+            max_queue=args.max_queue,
+        )
+        for i in range(args.nodes)
+    )
+    known = {s.node_id for s in specs}
+    unknown = sorted(node_faults.node_ids() - known)
+    if unknown and not args.autoscale:
+        raise SystemExit(
+            f"error: --node-fault names unknown node(s) "
+            f"{', '.join(unknown)}; the fleet has {', '.join(sorted(known))}"
+        )
+    autoscale = AutoscaleConfig(
+        enabled=args.autoscale,
+        max_nodes=args.max_nodes,
+        template=tuple(platforms),
+        p99_slo_ms=args.p99_slo,
+    )
+    try:
+        cluster = Cluster(
+            ClusterConfig(
+                nodes=specs,
+                policy=args.policy,
+                global_queue=args.global_queue,
+                node_faults=node_faults,
+                autoscale=autoscale,
+            )
+        )
+        metrics = cluster.run(workload)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+    rows = []
+    for n in metrics.nodes:
+        rows.append([
+            n.node_id,
+            n.platform,
+            n.state,
+            n.sessions,
+            n.frames,
+            n.rounds,
+            f"{n.p99_ms:.1f}" if n.frames else "-",
+            f"{100 * n.deadline_miss_rate:.1f}%" if n.frames else "-",
+        ])
+    print(format_table(
+        ["node", "platform", "state", "sessions", "frames", "rounds",
+         "p99 ms", "miss"],
+        rows,
+        title=(
+            f"{metrics.n_nodes}-node fleet ({args.policy}) — "
+            f"{sum(metrics.streams.values())} streams, "
+            f"{metrics.duration_s:.2f} s served"
+        ),
+    ))
+    if metrics.classes:
+        crows = [
+            [name, c["frames"], f"{c['p50_ms']:.1f}", f"{c['p95_ms']:.1f}",
+             f"{c['p99_ms']:.1f}", f"{100 * c['deadline_miss_rate']:.1f}%"]
+            for name, c in metrics.classes.items()
+        ]
+        print()
+        print(format_table(
+            ["class", "frames", "p50 ms", "p95 ms", "p99 ms", "miss"],
+            crows,
+        ))
+    print(
+        f"\naggregate: p50={metrics.p50_ms:.1f} ms  p95={metrics.p95_ms:.1f} ms  "
+        f"p99={metrics.p99_ms:.1f} ms  deadline-miss="
+        f"{100 * metrics.deadline_miss_rate:.1f}%"
+    )
+    outcomes = "  ".join(f"{k}={v}" for k, v in sorted(metrics.streams.items()))
+    print(f"streams: {outcomes}  peak-concurrent={metrics.peak_concurrent}")
+    print(
+        f"dispatch: queue-wait p95={metrics.queue_wait_p95_s * 1e3:.1f} ms  "
+        f"reroutes={metrics.reroutes}  evicted={metrics.evicted_sessions}  "
+        f"node-faults={metrics.node_faults}"
+    )
+    if metrics.lp_cache:
+        cache = "  ".join(
+            f"{plat}={100 * c['hit_rate']:.0f}%"
+            for plat, c in metrics.lp_cache.items()
+        )
+        print(f"lp-cache hit rate: {cache}")
+    for e in metrics.autoscale_events:
+        print(
+            f"autoscale: t={e['at_s']:.2f}s {e['action']} {e['node_id']} "
+            f"({e['platform']}): {e['reason']}"
+        )
+    if args.json:
+        cluster.export_metrics(args.json)
+        print(f"wrote metrics JSON to {args.json}")
+    if args.trace:
+        n = cluster.export_trace(args.trace)
+        print(f"wrote {n} trace events (node-namespaced pids) to {args.trace}")
+    if args.sanitize:
+        from repro.sanitizers import TimelineSanitizer
+
+        report = TimelineSanitizer.check_cluster(cluster)
         print(report.summary())
         for v in report.violations[:20]:
             print(f"  {v}")
@@ -610,29 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument("--platform", default="SysHK", choices=list_platforms())
-    serve.add_argument("--streams", type=int, default=4,
-                       help="number of streams in the generated workload")
-    serve.add_argument("--frames", type=int, default=30,
-                       help="inter frames per stream")
-    serve.add_argument("--fps", type=float, default=25.0,
-                       help="per-stream target fps (uniform mix)")
-    serve.add_argument("--deadline-class", default="standard",
-                       choices=("realtime", "standard", "background"))
-    serve.add_argument("--mix", default="uniform",
-                       choices=("uniform", "broadcast", "conference"),
-                       help="stream-mix preset cycled over the workload")
-    serve.add_argument("--arrival-rate", type=float, default=0.0,
-                       help="Poisson arrival rate in streams/s (0 = burst)")
-    serve.add_argument("--seed", type=int, default=0,
-                       help="arrival-process RNG seed")
-    serve.add_argument("--sa", type=int, default=32, help="search-area side")
-    serve.add_argument("--refs", type=int, default=1)
+    _add_workload_args(serve)
     serve.add_argument("--headroom", type=float, default=1.0,
                        help="admission ceiling on committed capacity fraction")
     serve.add_argument("--max-queue", type=int, default=8,
                        help="bounded wait-queue length (beyond = reject)")
-    serve.add_argument("--submit", action="append", metavar="AT:FPS:FRAMES[:CLASS]",
-                       help="scripted submission (repeatable; replaces --streams)")
     serve.add_argument("--json", metavar="PATH",
                        help="write per-stream + aggregate metrics as JSON")
     serve.add_argument("--trace", metavar="PATH",
@@ -642,6 +814,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check per-session timelines and service "
                             "invariants (exit 1 on violations)")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-node fleet simulation with a dispatch tier",
+        description=(
+            "Simulate a fleet of encoding nodes behind a cluster "
+            "dispatcher: a bounded global work queue feeds per-node "
+            "admission control through a pluggable routing policy "
+            "(least-loaded, deadline-slack-aware, or class-affinity "
+            "packing). Node faults evict and re-route sessions through "
+            "the global queue; --autoscale adds/drains nodes on "
+            "sustained queue depth or realtime-p99 SLO breach. A "
+            "single-node fleet is bit-identical to `repro serve`."
+        ),
+    )
+    fleet.add_argument("--nodes", type=int, default=2,
+                       help="fleet size (node ids n0..n{N-1})")
+    fleet.add_argument("--platforms", default="SysHK",
+                       help="comma-separated platform cycle assigned to "
+                            "nodes in order (e.g. SysHK,SysNF,SysNFF)")
+    fleet.add_argument("--policy", default="least-loaded",
+                       choices=("least-loaded", "slack", "affinity"),
+                       help="routing policy for placing queued streams")
+    fleet.add_argument("--global-queue", type=int, default=64,
+                       help="bounded global dispatch queue (beyond = reject)")
+    _add_workload_args(fleet)
+    fleet.add_argument("--headroom", type=float, default=1.0,
+                       help="per-node admission ceiling on committed "
+                            "capacity fraction")
+    fleet.add_argument("--max-queue", type=int, default=8,
+                       help="per-node bounded wait-queue length")
+    fleet.add_argument("--node-fault", action="append",
+                       metavar="NODE@T[:down|drain]",
+                       help="schedule a whole-node dropout or drain at a "
+                            "simulated time (repeatable)")
+    fleet.add_argument("--autoscale", action="store_true",
+                       help="enable the reactive autoscaler (provisions "
+                            "from the --platforms cycle)")
+    fleet.add_argument("--max-nodes", type=int, default=8,
+                       help="autoscaler fleet-size ceiling")
+    fleet.add_argument("--p99-slo", type=float, default=None,
+                       help="realtime p99 SLO in ms that triggers scale-out")
+    fleet.add_argument("--json", metavar="PATH",
+                       help="write per-node + aggregate metrics as JSON")
+    fleet.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace, one pid per "
+                            "node/stream segment")
+    fleet.add_argument("--sanitize", action="store_true",
+                       help="check fleet invariants (SAN-E) plus every "
+                            "node's service invariants (exit 1 on "
+                            "violations)")
+    fleet.set_defaults(func=cmd_fleet)
 
     prof = sub.add_parser(
         "profile",

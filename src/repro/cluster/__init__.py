@@ -1,0 +1,67 @@
+"""Fleet-scale serving: multi-node cluster simulation + dispatch tier.
+
+Simulates a fleet of heterogeneous nodes — each one a complete
+multi-stream :class:`~repro.service.service.EncodingService` over a
+platform preset — behind a cluster-level dispatcher: a bounded global
+work queue feeding per-node admission controllers, pluggable routing
+policies (:mod:`~repro.cluster.routing`), whole-node fault domains with
+evict-and-reroute (:mod:`~repro.cluster.faults`), a reactive autoscaler
+(:mod:`~repro.cluster.autoscale`) and aggregate per-class/per-node SLO
+metrics (:mod:`~repro.cluster.metrics`). The front door is
+:class:`~repro.cluster.dispatcher.Cluster` (CLI: ``repro fleet``). A
+single-node cluster is bit-identical to ``repro serve``.
+"""
+
+from repro.cluster.autoscale import AutoscaleConfig, Autoscaler, ScaleEvent
+from repro.cluster.dispatcher import (
+    Cluster,
+    ClusterConfig,
+    Dispatcher,
+    Segment,
+    StreamState,
+)
+from repro.cluster.faults import (
+    NODE_DOWN,
+    NODE_DRAIN,
+    NodeFaultEvent,
+    NodeFaultSchedule,
+    parse_node_fault_spec,
+    parse_node_fault_specs,
+)
+from repro.cluster.metrics import ClusterMetrics, NodeMetrics
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.routing import (
+    ROUTING_POLICIES,
+    ClassAffinityPolicy,
+    LeastLoadedPolicy,
+    RoutingPolicy,
+    SlackAwarePolicy,
+    get_policy,
+)
+
+__all__ = [
+    "AutoscaleConfig",
+    "Autoscaler",
+    "ClassAffinityPolicy",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "Dispatcher",
+    "LeastLoadedPolicy",
+    "NODE_DOWN",
+    "NODE_DRAIN",
+    "Node",
+    "NodeFaultEvent",
+    "NodeFaultSchedule",
+    "NodeMetrics",
+    "NodeSpec",
+    "ROUTING_POLICIES",
+    "RoutingPolicy",
+    "ScaleEvent",
+    "Segment",
+    "SlackAwarePolicy",
+    "StreamState",
+    "get_policy",
+    "parse_node_fault_spec",
+    "parse_node_fault_specs",
+]

@@ -1,0 +1,151 @@
+"""Pluggable stream→node routing policies for the fleet dispatcher.
+
+A policy ranks the routable nodes for one stream and picks the best.
+All policies are **deterministic**: scores are explicit tuples and every
+tie breaks on the node's stable insertion index, never on dict or set
+iteration order — the determinism regression suite pins fleet runs
+bit-identical across ``PYTHONHASHSEED`` and shuffled node insertion.
+
+Three built-ins (select with ``repro fleet --policy``):
+
+``least-loaded``
+    Classic join-the-shortest-queue on committed capacity: route to the
+    node whose committed fraction (normalized by headroom) is lowest,
+    with the node's wait-queue depth as the first-order tiebreak.
+
+``slack``
+    Deadline-slack-aware: estimate how much of the stream's deadline
+    budget the node would eat before service begins (queued work ahead
+    of it plus the capacity overflow its own demand causes), normalize
+    by the stream's per-frame deadline budget, and pick the node with
+    the most remaining slack. Streams with no deadline (background)
+    degrade to least-loaded. The formulation follows the on-line
+    slack-based scheduling framing of the MDP slice-parallel-decoder
+    paper (PAPERS.md) — route by time-to-deadline pressure, not raw load.
+
+``affinity``
+    Class-affinity packing over a heterogeneous fleet, in the spirit of
+    the bi-criteria pipeline-mapping paper (PAPERS.md): realtime streams
+    pack onto the *fastest* nodes that still have room, background
+    streams onto the *slowest* (keeping fast silicon free for deadline
+    traffic), standard streams go least-loaded. Node speed is the
+    calibrated fps capacity of the node's platform for this stream shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.node import Node
+from repro.service.session import StreamSpec
+
+
+class RoutingPolicy:
+    """Base class: rank nodes by :meth:`score` (lower wins)."""
+
+    name = "base"
+
+    def score(self, node: Node, spec: StreamSpec, now: float) -> tuple:
+        raise NotImplementedError
+
+    def choose(
+        self, nodes: list[Node], spec: StreamSpec, now: float
+    ) -> Node | None:
+        """Best routable node for a stream, or None when none accepts.
+
+        Nodes with room (admit or queue without rejecting) are strictly
+        preferred over full ones; within each group the policy score
+        decides and the node index breaks ties.
+        """
+        best: tuple | None = None
+        best_node: Node | None = None
+        for node in nodes:
+            if not node.accepting:
+                continue
+            key = (
+                0 if node.has_room(spec) else 1,
+                self.score(node, spec, now),
+                node.index,
+            )
+            if best is None or key < best:
+                best, best_node = key, node
+        return best_node
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Route to the node with the smallest normalized committed load."""
+
+    name = "least-loaded"
+
+    def score(self, node: Node, spec: StreamSpec, now: float) -> tuple:
+        return (node.n_queued, node.load())
+
+
+class SlackAwarePolicy(RoutingPolicy):
+    """Route to the node leaving the stream the most deadline slack."""
+
+    name = "slack"
+
+    def score(self, node: Node, spec: StreamSpec, now: float) -> tuple:
+        budget = spec.klass.budget_factor
+        if math.isinf(budget):
+            # No deadline to protect: pack like least-loaded.
+            return (1, node.n_queued, node.load())
+        demand = node.demand_fraction(spec)
+        free = node.spec.headroom - node.committed_fraction()
+        # Capacity the stream would overdraw, in platform fractions,
+        # plus everything already parked in the node's wait queue —
+        # both delay the stream's first frame proportionally to its
+        # full-node frame time (demand / fps = frame_s × demand share).
+        overdraw = max(0.0, demand - free) + node.n_queued * demand
+        frame_s = demand / spec.fps_target  # noqa: REP004 - fps_target validated > 0
+        wait_est_s = (overdraw / demand) * frame_s if demand > 0 else 0.0
+        budget_s = budget * spec.period_s
+        slack_used = wait_est_s / budget_s if budget_s > 0 else math.inf
+        return (0, slack_used, node.load())
+
+
+class ClassAffinityPolicy(RoutingPolicy):
+    """Pack realtime on fast nodes, background on slow ones."""
+
+    name = "affinity"
+
+    def score(self, node: Node, spec: StreamSpec, now: float) -> tuple:
+        fps = node.fps_capacity(spec)
+        klass = spec.deadline_class
+        if klass == "realtime":
+            speed_rank = -fps   # fastest first
+        elif klass == "background":
+            speed_rank = fps    # slowest first
+        else:
+            speed_rank = 0.0    # standard: speed-agnostic, load decides
+        return (speed_rank, node.n_queued, node.load())
+
+
+#: Policy registry for the CLI and ClusterConfig.
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    SlackAwarePolicy.name: SlackAwarePolicy,
+    ClassAffinityPolicy.name: ClassAffinityPolicy,
+}
+
+
+def get_policy(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by registry name."""
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; "
+            f"available: {sorted(ROUTING_POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "ClassAffinityPolicy",
+    "LeastLoadedPolicy",
+    "ROUTING_POLICIES",
+    "RoutingPolicy",
+    "SlackAwarePolicy",
+    "get_policy",
+]

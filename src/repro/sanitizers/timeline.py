@@ -33,6 +33,17 @@ frame defers must be the rows the next frame's plan catches up (SAN-C4).
 round sum to at most the whole platform (SAN-D1), and no session ever
 executes work on a device that is down or was evicted — a down device may
 only carry its fault-detection stall (SAN-D2).
+
+**E — cluster invariants.** At fleet scale every stream must be owned by
+at most one node at a time — segment placement intervals must not
+overlap, and only the last segment may still be open (SAN-E1); every
+segment must land on a known node inside that node's live window
+(SAN-E2); and reroutes must conserve frames: segment offsets chain
+contiguously, the global frame indices of one stream cover exactly
+1..frames_done with no loss or duplication, no stream encodes more
+frames than submitted, and the fleet-wide node-side and stream-side
+frame totals agree (SAN-E3). Per-node services are additionally run
+through the full A–D :meth:`~TimelineSanitizer.check_service` pass.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from repro.hw.interconnect import BufferSizes
 from repro.sanitizers.violations import SanitizerReport, Violation
 
 if TYPE_CHECKING:
+    from repro.cluster.dispatcher import Cluster
     from repro.codec.config import CodecConfig
     from repro.core.config import FrameworkConfig
     from repro.core.coding_manager import FrameReport
@@ -478,6 +490,8 @@ class TimelineSanitizer:
         legitimately reset the backlog.
         """
         out = SanitizerReport()
+        if not fw.reports:
+            return out   # never encoded (e.g. a rejected session)
         eventful = {
             e.frame_index for e in fw.fault_log if e.eventful
         }
@@ -566,6 +580,121 @@ class TimelineSanitizer:
                     f"(> 1.0)",
                     where="scheduler",
                 )
+        return out
+
+    # ------------------------- cluster-level checks -----------------------
+
+    @staticmethod
+    def check_cluster(cluster: Cluster, eps: float = 1e-9) -> SanitizerReport:
+        """Class-E fleet invariants plus the full A–D pass per node.
+
+        Every node's :class:`~repro.service.service.EncodingService` is
+        first sanitized with :meth:`check_service` (violations re-anchored
+        under ``node_id:``); then the dispatcher's segment bookkeeping is
+        checked stream by stream: exclusive time-ordered ownership
+        (SAN-E1), placement inside the owning node's live window
+        (SAN-E2), and frame conservation across reroutes (SAN-E3).
+        """
+        out = SanitizerReport()
+        for node in cluster.nodes:
+            rep = TimelineSanitizer.check_service(node.service, eps=eps)
+            for v in rep.violations:
+                where = f"{node.node_id}:{v.where}" if v.where else node.node_id
+                out.add(v.rule, v.message, frame=v.frame, where=where)
+
+        nodes = {n.node_id: n for n in cluster.nodes}
+        for stream_id, st in cluster.dispatcher.streams.items():
+            segs = st.segments
+            # --- E1: exclusive, time-ordered ownership -------------------
+            for i, seg in enumerate(segs):
+                if seg.t_evicted is None and i != len(segs) - 1:
+                    out.add(
+                        "SAN-E1",
+                        f"segment {i} on {seg.node_id} was never evicted "
+                        f"but segment {i + 1} exists",
+                        where=stream_id,
+                    )
+            for a, b in zip(segs, segs[1:], strict=False):
+                if a.t_evicted is not None and b.t_routed < a.t_evicted - eps:
+                    out.add(
+                        "SAN-E1",
+                        f"rerouted to {b.node_id} at {b.t_routed:.6f} while "
+                        f"{a.node_id} still owned the stream until "
+                        f"{a.t_evicted:.6f}",
+                        where=stream_id,
+                    )
+            # --- E2: placement inside the node's live window -------------
+            for seg in segs:
+                node = nodes.get(seg.node_id)
+                if node is None:
+                    out.add(
+                        "SAN-E2",
+                        f"segment placed on unknown node {seg.node_id!r}",
+                        where=stream_id,
+                    )
+                    continue
+                if seg.t_routed < node.joined_s - eps:
+                    out.add(
+                        "SAN-E2",
+                        f"segment routed to {seg.node_id} at "
+                        f"{seg.t_routed:.6f} before the node joined at "
+                        f"{node.joined_s:.6f}",
+                        where=stream_id,
+                    )
+                if node.retired_s is not None and (
+                    seg.t_routed > node.retired_s + eps
+                ):
+                    out.add(
+                        "SAN-E2",
+                        f"segment routed to {seg.node_id} at "
+                        f"{seg.t_routed:.6f} after the node retired at "
+                        f"{node.retired_s:.6f}",
+                        where=stream_id,
+                    )
+            # --- E3: frame conservation across reroutes ------------------
+            offset = 0
+            indices: list[int] = []
+            for seg in segs:
+                if seg.offset != offset:
+                    out.add(
+                        "SAN-E3",
+                        f"segment on {seg.node_id} starts at global offset "
+                        f"{seg.offset} but earlier segments encoded "
+                        f"{offset} frame(s)",
+                        where=stream_id,
+                    )
+                indices.extend(seg.offset + r.index for r in seg.session.records)
+                offset += len(seg.session.records)
+            if sorted(indices) != list(range(1, len(indices) + 1)):
+                missing = sorted(set(range(1, len(indices) + 1)) - set(indices))
+                dupes = sorted({i for i in indices if indices.count(i) > 1})
+                out.add(
+                    "SAN-E3",
+                    f"global frame indices do not cover 1..{len(indices)} "
+                    f"(missing {missing[:8]}, duplicated {dupes[:8]})",
+                    where=stream_id,
+                )
+            if st.frames_done > st.spec.n_frames:
+                out.add(
+                    "SAN-E3",
+                    f"encoded {st.frames_done} frame(s) but the stream "
+                    f"submitted {st.spec.n_frames}",
+                    where=stream_id,
+                )
+
+        node_frames = sum(
+            len(s.records) for n in cluster.nodes for s in n.service.sessions
+        )
+        stream_frames = sum(
+            st.frames_done for st in cluster.dispatcher.streams.values()
+        )
+        if node_frames != stream_frames:
+            out.add(
+                "SAN-E3",
+                f"nodes recorded {node_frames} frame(s) but stream segments "
+                f"account for {stream_frames}",
+                where="cluster",
+            )
         return out
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 #: Dynamic (schedule) rule identifiers, by violation class of the design
 #: doc: A = engine races, B = dependency/τ races, C = conservation,
-#: D = service invariants.
+#: D = service invariants, E = cluster invariants.
 SCHED_RULES: dict[str, str] = {
     "SAN-A1": "two ops overlap on one serially-executing engine",
     "SAN-A2": "concurrent copies exceed the device's copy-engine count",
@@ -25,6 +25,9 @@ SCHED_RULES: dict[str, str] = {
     "SAN-C4": "σ/σʳ deferrals do not conserve the missing SF rows",
     "SAN-D1": "per-round capacity shares sum above the whole platform",
     "SAN-D2": "work scheduled on a device that is down/evicted",
+    "SAN-E1": "stream owned by more than one node at a time",
+    "SAN-E2": "segment placed on a node outside its live window",
+    "SAN-E3": "frames lost or duplicated across a cluster reroute",
 }
 
 

@@ -12,7 +12,7 @@ plus aggregate latency/deadline/utilization metrics
 """
 
 from repro.service.admission import AdmissionController, CapacityModel
-from repro.service.metrics import ServiceMetrics, StreamMetrics
+from repro.service.metrics import ServiceMetrics, StreamMetrics, per_class_summary
 from repro.service.scheduler import CoScheduler, SchedulerConfig
 from repro.service.service import EncodingService, ServiceConfig
 from repro.service.session import (
@@ -44,5 +44,6 @@ __all__ = [
     "StreamSpec",
     "build_workload",
     "parse_submit_specs",
+    "per_class_summary",
     "poisson_arrivals",
 ]

@@ -174,3 +174,30 @@ class AdmissionController:
         """A session finished its last frame; free its capacity."""
         self.running.remove(session)
         self.counts["completed"] += 1
+
+    # ------------------------------------------------------------------
+
+    def has_room(
+        self, session: EncodingSession, live: frozenset[str] | set[str] | None
+    ) -> bool:
+        """Would :meth:`offer` do anything other than reject right now?"""
+        if not self.queue and self._fits(session, live):
+            return True
+        return len(self.queue) < self.max_queue
+
+    def evict_all(self) -> tuple[list[EncodingSession], list[EncodingSession]]:
+        """Node-level eviction: empty the controller without completing.
+
+        Returns ``(running, queued)`` — every session that was running
+        and every session still waiting. Neither list counts toward
+        ``completed``; the caller (the cluster's fault/drain machinery)
+        owns their fate, typically re-routing the survivors through the
+        global dispatch queue. Mirrors the PR-1 device-eviction shape one
+        level up: capacity vanishes, work is handed back for re-placement.
+        """
+        running = list(self.running)
+        queued = list(self.queue)
+        self.running.clear()
+        self.queue.clear()
+        self.counts["evicted"] = self.counts.get("evicted", 0) + len(running)
+        return running, queued

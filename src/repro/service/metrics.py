@@ -40,6 +40,42 @@ def latency_percentiles_ms(latencies_s: list[float]) -> dict[str, float]:
     }
 
 
+def per_class_summary(sessions: list[EncodingSession]) -> dict[str, dict]:
+    """Latency/deadline headline numbers per deadline class.
+
+    Aggregates every frame record of every session, keyed by the
+    session's deadline class, into ``{class: {frames, p50_ms, p95_ms,
+    p99_ms, deadline_miss_rate}}``. Classes with no encoded frames are
+    omitted; background frames (no deadline) report a 0.0 miss rate.
+    Shared by the service snapshot and the cluster layer, where per-class
+    SLOs drive routing and autoscaling decisions.
+    """
+    lat: dict[str, list[float]] = {}
+    missable: dict[str, int] = {}
+    missed: dict[str, int] = {}
+    for s in sessions:
+        klass = s.spec.deadline_class
+        for r in s.records:
+            lat.setdefault(klass, []).append(r.latency_s)
+            if not math.isinf(r.deadline_s):
+                missable[klass] = missable.get(klass, 0) + 1
+                missed[klass] = missed.get(klass, 0) + int(r.missed)
+    out: dict[str, dict] = {}
+    for klass in sorted(lat):
+        pct = latency_percentiles_ms(lat[klass])
+        n_missable = missable.get(klass, 0)
+        out[klass] = {
+            "frames": len(lat[klass]),
+            "p50_ms": pct["p50"],
+            "p95_ms": pct["p95"],
+            "p99_ms": pct["p99"],
+            "deadline_miss_rate": (
+                missed.get(klass, 0) / n_missable if n_missable else 0.0
+            ),
+        }
+    return out
+
+
 @dataclass(frozen=True)
 class StreamMetrics:
     """Headline numbers of one stream's run through the service."""
@@ -119,6 +155,7 @@ class ServiceMetrics:
     admission: dict[str, int] = field(default_factory=dict)
     device_utilization: dict[str, float] = field(default_factory=dict)
     fault_events: int = 0
+    classes: dict[str, dict] = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -162,6 +199,7 @@ class ServiceMetrics:
             admission=dict(admission_counts),
             device_utilization=util,
             fault_events=sum(m.fault_events for m in streams),
+            classes=per_class_summary(sessions),
         )
 
     def stream(self, stream_id: str) -> StreamMetrics:
@@ -182,5 +220,6 @@ class ServiceMetrics:
             "admission": dict(self.admission),
             "device_utilization": dict(self.device_utilization),
             "fault_events": self.fault_events,
+            "classes": {k: dict(v) for k, v in self.classes.items()},
             "streams": [m.to_dict() for m in self.streams],
         }

@@ -83,10 +83,30 @@ class ServiceConfig:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
 
 
-class EncodingService:
-    """Event-driven multi-stream encoding service on one shared platform."""
+#: ``step_round`` outcomes (see its docstring).
+ENCODED, IDLE, DONE = "encoded", "idle", "done"
 
-    def __init__(self, cfg: ServiceConfig | None = None) -> None:
+
+class EncodingService:
+    """Event-driven multi-stream encoding service on one shared platform.
+
+    The public surface has two shapes:
+
+    - :meth:`run` serves a complete workload to completion — the
+      ``repro serve`` path;
+    - the stepping primitives :meth:`begin_round`, :meth:`submit` and
+      :meth:`step_round` expose one scheduling round at a time, so an
+      outer driver (the cluster layer's :class:`~repro.cluster.node.Node`)
+      can interleave many services on one simulated clock. ``run`` is
+      built from exactly those primitives, which is what makes a
+      single-node cluster bit-identical to ``repro serve``.
+    """
+
+    def __init__(
+        self,
+        cfg: ServiceConfig | None = None,
+        lp_batch: RoundLPBatch | None = None,
+    ) -> None:
         self.cfg = cfg or ServiceConfig()
         self.template = get_platform(self.cfg.platform)
         for name in self.cfg.faults.devices():
@@ -98,7 +118,9 @@ class EncodingService:
             max_queue=self.cfg.max_queue,
         )
         self.scheduler = CoScheduler(self.cfg.scheduler)
-        self.lp_batch = RoundLPBatch()
+        # The LP solve cache may be shared across services (cluster nodes
+        # of the same platform class hand every node one batch).
+        self.lp_batch = lp_batch if lp_batch is not None else RoundLPBatch()
         self.sessions: list[EncodingSession] = []
         self.now = 0.0
         self.rounds = 0
@@ -114,7 +136,17 @@ class EncodingService:
             if self.cfg.faults.down(round_idx, d.name) is None
         )
 
-    def _submit(self, spec: StreamSpec, live: frozenset[str]) -> EncodingSession:
+    def begin_round(self) -> frozenset[str]:
+        """Guard the round budget and return the live device set."""
+        round_idx = self.rounds + 1
+        if round_idx > self.cfg.max_rounds:
+            raise RuntimeError(
+                f"service exceeded max_rounds={self.cfg.max_rounds}"
+            )
+        return self.live_devices(round_idx)
+
+    def submit(self, spec: StreamSpec, live: frozenset[str]) -> EncodingSession:
+        """Create a session for a newly arrived stream and offer it."""
         session = EncodingSession(
             spec, self.cfg.platform, faults=self.cfg.faults
         )
@@ -123,55 +155,52 @@ class EncodingService:
         self.admission.offer(session, self.now, live)
         return session
 
-    # ------------------------------------------------------------------
+    def step_round(
+        self, live: frozenset[str], next_arrival_s: float | None = None
+    ) -> str:
+        """One scheduling round after due arrivals have been submitted.
 
-    def run(self, workload: list[StreamSpec]) -> ServiceMetrics:
-        """Serve a complete workload to completion; returns the metrics."""
-        pending = sorted(workload, key=lambda s: (s.arrival_s, s.stream_id))
-        i = 0
-        while True:
-            round_idx = self.rounds + 1
-            if round_idx > self.cfg.max_rounds:
-                raise RuntimeError(
-                    f"service exceeded max_rounds={self.cfg.max_rounds}"
-                )
-            live = self.live_devices(round_idx)
+        Drains the admission queue, then either encodes one co-scheduled
+        round (returns ``ENCODED``), jumps the clock to the next internal
+        event or to ``next_arrival_s`` when nothing is encodable yet
+        (``IDLE``), or reports the workload fully served (``DONE`` —
+        nothing running and no arrival hint left).
+        """
+        self.admission.drain(self.now, live)
 
-            # Arrivals due by now, then queue drain against current capacity.
-            while i < len(pending) and pending[i].arrival_s <= self.now + 1e-12:
-                self._submit(pending[i], live)
-                i += 1
-            self.admission.drain(self.now, live)
-
-            active = [
-                s for s in self.admission.running if s.has_pending(self.now)
+        active = [
+            s for s in self.admission.running if s.has_pending(self.now)
+        ]
+        if not active:
+            # Idle: jump the clock to the next event (frame capture of
+            # a running session, or the next arrival).
+            events = [
+                s.next_capture_s()
+                for s in self.admission.running
+                if not s.done
             ]
-            if not active:
-                # Idle: jump the clock to the next event (frame capture of
-                # a running session, or the next arrival).
-                events = [
-                    s.next_capture_s()
-                    for s in self.admission.running
-                    if not s.done
-                ]
-                if i < len(pending):
-                    events.append(pending[i].arrival_s)
-                if not events:
-                    break  # workload fully served
-                self.now = max(self.now, min(events))
-                continue
+            if next_arrival_s is not None:
+                events.append(next_arrival_s)
+            if not events:
+                return DONE
+            self.now = max(self.now, min(events))
+            return IDLE
 
-            shares = self.scheduler.partition(active, self.now)
-            round_dur = 0.0
-            for s in active:
-                rec = s.step(self.now, shares[s.stream_id], round_idx)
-                round_dur = max(round_dur, rec.tau_s)
-            for s in active:
-                if s.done:
-                    self.admission.release(s)
-            self.now += round_dur
-            self.rounds += 1
+        round_idx = self.rounds + 1
+        shares = self.scheduler.partition(active, self.now)
+        round_dur = 0.0
+        for s in active:
+            rec = s.step(self.now, shares[s.stream_id], round_idx)
+            round_dur = max(round_dur, rec.tau_s)
+        for s in active:
+            if s.done:
+                self.admission.release(s)
+        self.now += round_dur
+        self.rounds += 1
+        return ENCODED
 
+    def finalize(self) -> ServiceMetrics:
+        """Collect (and cache) the metrics of everything served so far."""
         self._metrics = ServiceMetrics.collect(
             platform=self.cfg.platform,
             duration_s=self.now,
@@ -180,6 +209,25 @@ class EncodingService:
             admission_counts=self.admission.counts,
         )
         return self._metrics
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: list[StreamSpec]) -> ServiceMetrics:
+        """Serve a complete workload to completion; returns the metrics."""
+        pending = sorted(workload, key=lambda s: (s.arrival_s, s.stream_id))
+        i = 0
+        while True:
+            live = self.begin_round()
+
+            # Arrivals due by now, then queue drain against current capacity.
+            while i < len(pending) and pending[i].arrival_s <= self.now + 1e-12:
+                self.submit(pending[i], live)
+                i += 1
+            next_arrival = pending[i].arrival_s if i < len(pending) else None
+            if self.step_round(live, next_arrival) == DONE:
+                break
+
+        return self.finalize()
 
     # ------------------------------------------------------------------
 

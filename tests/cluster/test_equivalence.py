@@ -1,0 +1,92 @@
+"""ISSUE acceptance: a single-node cluster is bit-identical to serve.
+
+The fleet loop drives the same ``begin_round``/``submit``/``step_round``
+primitives ``EncodingService.run`` is built from, so a one-node fleet
+must reproduce the standalone service *exactly* — metrics dict equal,
+per-frame timelines equal, no tolerance anywhere.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeSpec
+from repro.service import EncodingService, ServiceConfig, build_workload
+from repro.service.session import StreamSpec
+
+
+def serve_reference(workload, platform="SysHK", **svc_kw):
+    svc = EncodingService(ServiceConfig(platform=platform, **svc_kw))
+    return svc, svc.run(workload)
+
+
+def fleet_single(workload, platform="SysHK", **node_kw):
+    cluster = Cluster(ClusterConfig(
+        nodes=(NodeSpec("n0", platform=platform, **node_kw),),
+        global_queue=0,   # rejection parity: overflow hits the node
+    ))
+    cluster.run(workload)
+    return cluster
+
+
+WORKLOADS = {
+    "burst": lambda: build_workload(3, n_frames=4, fps_target=25.0),
+    "poisson": lambda: build_workload(
+        5, n_frames=3, mix="conference", arrival_rate=15.0, seed=4
+    ),
+    "staggered": lambda: [
+        StreamSpec("a", n_frames=4, fps_target=25.0),
+        StreamSpec("b", n_frames=3, fps_target=15.0, arrival_s=0.08,
+                   deadline_class="realtime"),
+        StreamSpec("c", n_frames=2, fps_target=10.0, arrival_s=0.30,
+                   deadline_class="background"),
+    ],
+    "overload": lambda: build_workload(10, n_frames=2, fps_target=30.0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_single_node_metrics_bit_identical(name):
+    workload = WORKLOADS[name]()
+    svc, ref = serve_reference(list(workload))
+    cluster = fleet_single(list(workload))
+    got = cluster.node("n0").service.metrics
+    assert got.to_dict() == ref.to_dict()
+
+
+@pytest.mark.parametrize("name", ["burst", "staggered"])
+def test_single_node_timelines_bit_identical(name):
+    workload = WORKLOADS[name]()
+    svc, _ = serve_reference(list(workload))
+    cluster = fleet_single(list(workload))
+    node_svc = cluster.node("n0").service
+    assert len(svc.sessions) == len(node_svc.sessions)
+    for ref_s, got_s in zip(svc.sessions, node_svc.sessions, strict=True):
+        assert ref_s.stream_id == got_s.stream_id
+        ref_reports = ref_s.framework.reports
+        got_reports = got_s.framework.reports
+        for ref_r, got_r in zip(ref_reports, got_reports, strict=True):
+            assert got_r.decision == ref_r.decision
+            assert got_r.tau_tot == ref_r.tau_tot          # exact
+            assert [
+                (r.label, r.resource, r.start, r.end)
+                for r in got_r.timeline.records
+            ] == [
+                (r.label, r.resource, r.start, r.end)
+                for r in ref_r.timeline.records
+            ]
+
+
+def test_single_node_on_slow_platform_matches_too():
+    workload = build_workload(4, n_frames=3, fps_target=20.0)
+    svc, ref = serve_reference(list(workload), platform="SysNF")
+    cluster = fleet_single(list(workload), platform="SysNF")
+    assert cluster.node("n0").service.metrics.to_dict() == ref.to_dict()
+
+
+def test_cluster_aggregate_mirrors_service_aggregate():
+    workload = build_workload(3, n_frames=4, fps_target=25.0)
+    _, ref = serve_reference(list(workload))
+    cluster = fleet_single(list(workload))
+    m = cluster.metrics
+    assert m.p99_ms == ref.p99_ms
+    assert m.deadline_miss_rate == ref.deadline_miss_rate
+    assert m.frames_encoded == sum(sm.frames for sm in ref.streams)

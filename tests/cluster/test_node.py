@@ -1,0 +1,145 @@
+"""Fleet node: offer outcomes, stepping, eviction, capacity probes."""
+
+import pytest
+
+from repro.cluster.node import DOWN, DRAINED, EVICTED, UP, Node, NodeSpec
+from repro.service.admission import ADMITTED, QUEUED, REJECTED
+from repro.service.service import DONE, ENCODED, IDLE
+from repro.service.session import StreamSpec
+
+
+def make_node(**kw):
+    spec_kw = {"node_id": "n0", "platform": "SysHK"}
+    spec_kw.update(kw)
+    return Node(NodeSpec(**spec_kw))
+
+
+class TestNodeSpec:
+    def test_rejects_empty_node_id(self):
+        with pytest.raises(ValueError, match="node_id"):
+            NodeSpec(node_id="")
+
+    def test_defaults(self):
+        spec = NodeSpec(node_id="a")
+        assert spec.platform == "SysHK"
+        assert spec.headroom == 1.0
+        assert spec.max_queue == 8
+
+
+class TestOffer:
+    def test_admits_when_capacity_free(self):
+        node = make_node()
+        session, outcome = node.offer(StreamSpec("a", n_frames=2), now=0.0)
+        assert outcome == ADMITTED
+        assert node.n_running == 1
+
+    def test_queues_when_saturated(self):
+        node = make_node()
+        outcomes = [
+            node.offer(StreamSpec(f"s{i}", n_frames=2, fps_target=25.0), 0.0)[1]
+            for i in range(8)
+        ]
+        assert outcomes[0] == ADMITTED
+        assert QUEUED in outcomes
+
+    def test_rejects_beyond_queue_bound(self):
+        node = make_node(max_queue=1)
+        outcomes = [
+            node.offer(StreamSpec(f"s{i}", n_frames=2, fps_target=25.0), 0.0)[1]
+            for i in range(8)
+        ]
+        assert REJECTED in outcomes
+
+    def test_offer_advances_clock_monotonically(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), now=0.5)
+        assert node.now == 0.5
+        node.offer(StreamSpec("b", n_frames=2), now=0.2)  # never rewinds
+        assert node.now == 0.5
+
+
+class TestStep:
+    def test_step_encodes_one_round(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), 0.0)
+        assert node.step() == ENCODED
+        assert node.service.rounds == 1
+
+    def test_step_runs_to_done(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), 0.0)
+        states = []
+        while (st := node.step()) != DONE:
+            states.append(st)
+        assert states and all(s in (ENCODED, IDLE) for s in states)
+        assert len(node.service.sessions[0].records) == 2
+
+    def test_next_action_none_when_empty(self):
+        assert make_node().next_action_s() is None
+
+    def test_next_action_is_now_when_work_pending(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), 0.0)
+        assert node.next_action_s() == node.now
+
+    def test_next_action_none_when_retired(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), 0.0)
+        node.retire(0.0, DOWN)
+        assert node.next_action_s() is None
+
+
+class TestEviction:
+    def test_evict_all_returns_running_and_queued(self):
+        node = make_node(max_queue=8)
+        for i in range(6):
+            node.offer(StreamSpec(f"s{i}", n_frames=3, fps_target=25.0), 0.0)
+        running, queued = node.evict_all(0.1)
+        assert len(running) >= 1
+        assert len(running) + len(queued) == 6
+        assert node.idle
+
+    def test_evicted_sessions_marked(self):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=3), 0.0)
+        running, _ = node.evict_all(0.1)
+        assert all(s.state == EVICTED for s in running)
+
+    def test_queued_sessions_leave_service_roster(self):
+        node = make_node()
+        for i in range(6):
+            node.offer(StreamSpec(f"s{i}", n_frames=3, fps_target=25.0), 0.0)
+        _, queued = node.evict_all(0.1)
+        ids = {s.stream_id for s in node.service.sessions}
+        assert not ids & {s.stream_id for s in queued}
+
+    def test_retire_states(self):
+        node = make_node()
+        assert node.state == UP and node.accepting
+        node.retire(0.3, DRAINED)
+        assert node.state == DRAINED
+        assert not node.accepting
+        assert node.retired_s == 0.3
+
+
+class TestCapacityProbes:
+    def test_has_room_true_when_empty(self):
+        assert make_node().has_room(StreamSpec("a", n_frames=2))
+
+    def test_load_grows_with_admissions(self):
+        node = make_node()
+        before = node.load()
+        node.offer(StreamSpec("a", n_frames=2, fps_target=25.0), 0.0)
+        assert node.load() > before
+
+    def test_demand_fraction_scales_with_fps(self):
+        node = make_node()
+        lo = node.demand_fraction(StreamSpec("a", n_frames=2, fps_target=10.0))
+        hi = node.demand_fraction(StreamSpec("b", n_frames=2, fps_target=30.0))
+        assert hi > lo
+
+    def test_fps_capacity_orders_platforms(self):
+        fast = make_node(platform="SysHK")
+        slow = Node(NodeSpec(node_id="n1", platform="SysNF"))
+        spec = StreamSpec("a", n_frames=2)
+        assert fast.fps_capacity(spec) > slow.fps_capacity(spec)

@@ -1,0 +1,108 @@
+"""Routing policies: selection, scoring, and deterministic tie-breaks."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.routing import (
+    ROUTING_POLICIES,
+    ClassAffinityPolicy,
+    LeastLoadedPolicy,
+    SlackAwarePolicy,
+    get_policy,
+)
+from repro.service.session import StreamSpec
+
+
+def make_fleet(platforms):
+    return [
+        Node(NodeSpec(node_id=f"n{i}", platform=p), index=i)
+        for i, p in enumerate(platforms)
+    ]
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(ROUTING_POLICIES) == {"least-loaded", "slack", "affinity"}
+
+    def test_get_policy_returns_instances(self):
+        assert isinstance(get_policy("least-loaded"), LeastLoadedPolicy)
+        assert isinstance(get_policy("slack"), SlackAwarePolicy)
+        assert isinstance(get_policy("affinity"), ClassAffinityPolicy)
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(ValueError, match="least-loaded"):
+            get_policy("round-robin")
+
+
+class TestTieBreaking:
+    """Identical nodes must tie-break on insertion index, never on id."""
+
+    def test_empty_identical_fleet_picks_lowest_index(self):
+        nodes = make_fleet(["SysHK", "SysHK", "SysHK"])
+        spec = StreamSpec("a", n_frames=2)
+        for name in ROUTING_POLICIES:
+            chosen = get_policy(name).choose(nodes, spec, now=0.0)
+            assert chosen is nodes[0], name
+
+    def test_tie_break_ignores_node_id_ordering(self):
+        # Reverse-sorted ids: if any policy compared ids the pick flips.
+        nodes = [
+            Node(NodeSpec(node_id="z", platform="SysHK"), index=0),
+            Node(NodeSpec(node_id="a", platform="SysHK"), index=1),
+        ]
+        spec = StreamSpec("a", n_frames=2)
+        for name in ROUTING_POLICIES:
+            assert get_policy(name).choose(nodes, spec, 0.0).node_id == "z", name
+
+    def test_loaded_node_loses_the_tie(self):
+        nodes = make_fleet(["SysHK", "SysHK"])
+        nodes[0].offer(StreamSpec("busy", n_frames=4, fps_target=25.0), 0.0)
+        chosen = get_policy("least-loaded").choose(
+            nodes, StreamSpec("b", n_frames=2), 0.0
+        )
+        assert chosen is nodes[1]
+
+
+class TestPolicyBehavior:
+    def test_non_accepting_nodes_skipped(self):
+        nodes = make_fleet(["SysHK", "SysHK"])
+        from repro.cluster.node import DOWN
+
+        nodes[0].retire(0.0, DOWN)
+        chosen = get_policy("least-loaded").choose(
+            nodes, StreamSpec("a", n_frames=2), 0.0
+        )
+        assert chosen is nodes[1]
+
+    def test_no_live_node_returns_none(self):
+        from repro.cluster.node import DOWN
+
+        nodes = make_fleet(["SysHK"])
+        nodes[0].retire(0.0, DOWN)
+        assert get_policy("slack").choose(nodes, StreamSpec("a", 2), 0.0) is None
+
+    def test_full_nodes_rank_behind_nodes_with_room(self):
+        nodes = make_fleet(["SysHK", "SysHK"])
+        # Saturate node 0's capacity and queue so has_room goes False.
+        n = 0
+        while nodes[0].has_room(StreamSpec(f"x{n}", n_frames=2, fps_target=25.0)):
+            nodes[0].offer(StreamSpec(f"x{n}", n_frames=2, fps_target=25.0), 0.0)
+            n += 1
+        chosen = get_policy("least-loaded").choose(
+            nodes, StreamSpec("a", n_frames=2), 0.0
+        )
+        assert chosen is nodes[1]
+
+    def test_affinity_sends_realtime_to_fastest(self):
+        nodes = make_fleet(["SysNF", "SysHK"])  # fast node second
+        rt = StreamSpec("rt", n_frames=2, deadline_class="realtime")
+        bg = StreamSpec("bg", n_frames=2, deadline_class="background")
+        policy = get_policy("affinity")
+        assert policy.choose(nodes, rt, 0.0).platform == "SysHK"
+        assert policy.choose(nodes, bg, 0.0).platform == "SysNF"
+
+    def test_slack_prefers_node_with_lower_wait_for_tight_deadline(self):
+        nodes = make_fleet(["SysHK", "SysHK"])
+        nodes[0].offer(StreamSpec("busy", n_frames=8, fps_target=25.0), 0.0)
+        rt = StreamSpec("rt", n_frames=2, deadline_class="realtime")
+        assert get_policy("slack").choose(nodes, rt, 0.0) is nodes[1]

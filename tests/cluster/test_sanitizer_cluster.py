@@ -1,0 +1,130 @@
+"""SAN-E cluster invariants: ownership, live windows, conservation."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    NodeFaultEvent,
+    NodeFaultSchedule,
+    NodeSpec,
+)
+from repro.sanitizers import ScheduleViolationError, TimelineSanitizer
+from repro.sanitizers.violations import SCHED_RULES
+from repro.service import build_workload
+
+
+@pytest.fixture(scope="module")
+def faulted_cluster():
+    """A 4-node mixed fleet with an n0 dropout mid-run (module-shared)."""
+    wl = build_workload(8, n_frames=6, fps_target=25.0, seed=3)
+    cluster = Cluster(ClusterConfig(
+        nodes=(
+            NodeSpec("n0", platform="SysHK"),
+            NodeSpec("n1", platform="SysNF"),
+            NodeSpec("n2", platform="SysNFF"),
+            NodeSpec("n3", platform="SysHK"),
+        ),
+        policy="slack",
+        node_faults=NodeFaultSchedule(
+            [NodeFaultEvent("n0", at_s=0.15, kind="down")]
+        ),
+    ))
+    cluster.run(wl)
+    return cluster
+
+
+def test_san_e_rules_registered():
+    assert {"SAN-E1", "SAN-E2", "SAN-E3"} <= set(SCHED_RULES)
+
+
+def test_faulted_fleet_is_clean(faulted_cluster):
+    report = TimelineSanitizer.check_cluster(faulted_cluster)
+    assert report.clean, report.summary()
+
+
+def test_corrupted_offset_fires_e3(faulted_cluster):
+    st = next(
+        s for s in faulted_cluster.dispatcher.streams.values()
+        if len(s.segments) > 1
+    )
+    st.segments[1].offset += 1
+    try:
+        report = TimelineSanitizer.check_cluster(faulted_cluster)
+    finally:
+        st.segments[1].offset -= 1
+    assert any(v.rule == "SAN-E3" for v in report.violations)
+
+
+def test_overlapping_ownership_fires_e1(faulted_cluster):
+    st = next(
+        s for s in faulted_cluster.dispatcher.streams.values()
+        if len(s.segments) > 1
+    )
+    seg = st.segments[1]
+    orig = seg.t_routed
+    seg.t_routed = st.segments[0].t_evicted - 0.01
+    try:
+        report = TimelineSanitizer.check_cluster(faulted_cluster)
+    finally:
+        seg.t_routed = orig
+    assert any(v.rule == "SAN-E1" for v in report.violations)
+
+
+def test_unknown_node_fires_e2(faulted_cluster):
+    st = next(iter(faulted_cluster.dispatcher.streams.values()))
+    seg = st.segments[0]
+    orig = seg.node_id
+    seg.node_id = "ghost"
+    try:
+        report = TimelineSanitizer.check_cluster(faulted_cluster)
+    finally:
+        seg.node_id = orig
+    assert any(v.rule == "SAN-E2" for v in report.violations)
+
+
+def test_placement_after_retirement_fires_e2(faulted_cluster):
+    # Pretend a segment was routed to n0 after its dropout.
+    st = next(
+        s for s in faulted_cluster.dispatcher.streams.values()
+        if s.segments[0].node_id == "n0"
+    )
+    seg = st.segments[0]
+    orig = seg.t_routed
+    seg.t_routed = 0.5   # n0 retired at 0.15
+    try:
+        report = TimelineSanitizer.check_cluster(faulted_cluster)
+    finally:
+        seg.t_routed = orig
+    assert any(v.rule == "SAN-E2" for v in report.violations)
+
+
+def test_node_violations_are_namespaced(faulted_cluster):
+    # Delegated per-node checks anchor under "node_id:..." — prove the
+    # delegation runs by corrupting one session's share record.
+    node = faulted_cluster.node("n3")
+    session = node.service.sessions[0]
+    rec = session.records[0]
+    orig = rec.share
+    object.__setattr__(rec, "share", 2.0)   # frozen dataclass
+    try:
+        report = TimelineSanitizer.check_cluster(faulted_cluster)
+    finally:
+        object.__setattr__(rec, "share", orig)
+    hits = [v for v in report.violations if v.rule == "SAN-D1"]
+    assert hits and all(v.where.startswith("n3:") for v in hits)
+
+
+def test_strict_env_raises_on_dirty(monkeypatch):
+    """REPRO_SANITIZE=1 makes Cluster.run raise on a violation."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    wl = build_workload(2, n_frames=2, fps_target=25.0)
+    cluster = Cluster(ClusterConfig(nodes=(NodeSpec("n0"),)))
+
+    # Sabotage conservation right before collection by patching the
+    # sanitize hook's view: run normally first, then re-check dirty.
+    m = cluster.run(wl)   # clean run must not raise
+    st = next(iter(cluster.dispatcher.streams.values()))
+    st.segments[0].offset = 5
+    with pytest.raises(ScheduleViolationError):
+        TimelineSanitizer.check_cluster(cluster).raise_if_dirty()

@@ -135,3 +135,103 @@ def test_bit_identical_across_hash_seeds_and_insertion_order():
 
 def test_repeat_run_same_seed_is_identical():
     assert _run("7", 0) == _run("7", 0)
+
+
+# The fleet layer adds its own order-sensitive surfaces: routing
+# tie-breaks, the global FIFO queue, fault-eviction survivor ordering
+# and the per-platform LP-cache registry. The runner shuffles the
+# insertion order of the node-spec table (canonical fleet order itself
+# is configuration, exactly like device order above), serves a Poisson
+# workload through a mixed fleet with a mid-run node dropout, and
+# digests every order-sensitive artifact: per-session timelines per
+# node, segment bookkeeping, and the full metrics dict (key order
+# included).
+CLUSTER_RUNNER = r"""
+import hashlib, json, random, sys
+
+shuffle_seed = int(sys.argv[1])
+
+from repro.cluster import (
+    Cluster, ClusterConfig, NodeFaultEvent, NodeFaultSchedule, NodeSpec,
+)
+from repro.service import build_workload
+
+entries = [
+    ("n0", "SysHK"),
+    ("n1", "SysNF"),
+    ("n2", "SysNFF"),
+]
+shuffled = list(entries)
+random.Random(shuffle_seed).shuffle(shuffled)
+by_id = {nid: NodeSpec(node_id=nid, platform=p) for nid, p in shuffled}
+specs = tuple(by_id[nid] for nid, _ in entries)  # canonical fleet order
+
+wl = build_workload(
+    6, n_frames=4, mix="conference", arrival_rate=25.0, seed=9
+)
+cluster = Cluster(ClusterConfig(
+    nodes=specs,
+    policy="slack",
+    node_faults=NodeFaultSchedule(
+        [NodeFaultEvent("n0", at_s=0.12, kind="down")]
+    ),
+))
+metrics = cluster.run(wl)
+
+blob = {
+    "metrics": metrics.to_dict(),
+    "timelines": [
+        [
+            session.stream_id,
+            [
+                [r.label, r.resource, repr(r.start), repr(r.end)]
+                for rep in session.framework.reports
+                for r in rep.timeline.records
+            ],
+        ]
+        for node in cluster.nodes
+        for session in node.service.sessions
+    ],
+    "segments": [
+        [
+            st.stream_id,
+            [
+                [seg.node_id, seg.offset, repr(seg.t_routed),
+                 repr(seg.t_evicted), len(seg.session.records)]
+                for seg in st.segments
+            ],
+        ]
+        for st in cluster.dispatcher.streams.values()
+    ],
+}
+print(hashlib.sha256(json.dumps(blob, sort_keys=False).encode()).hexdigest())
+"""
+
+
+def _run_cluster(hash_seed: str, shuffle_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [sys.executable, "-c", CLUSTER_RUNNER, str(shuffle_seed)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_cluster_bit_identical_across_hash_seeds_and_insertion_order():
+    digests = {
+        _run_cluster(hash_seed, shuffle_seed)
+        for hash_seed, shuffle_seed in [
+            ("0", 0),
+            ("1", 1),
+            ("4242", 2),
+        ]
+    }
+    assert len(digests) == 1, (
+        "fleet runs differ across PYTHONHASHSEED or node-spec insertion "
+        f"order: {digests}"
+    )

@@ -182,3 +182,110 @@ class TestServeCli:
     def test_serve_unknown_fault_device_exits(self):
         with pytest.raises(SystemExit):
             main(["serve", "--streams", "2", "--drop", "nope@2"])
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--streams", "3"),
+        ("--arrival-rate", "2.0"),
+    ])
+    def test_serve_submit_clash_names_flag(self, flag, value):
+        with pytest.raises(SystemExit, match=flag.replace("-", "[-]")):
+            main(["serve", "--submit", "0:25:3", flag, value])
+
+    def test_serve_submit_clash_names_both_flags(self):
+        with pytest.raises(
+            SystemExit, match="[-]{2}streams and [-]{2}arrival[-]rate"
+        ):
+            main([
+                "serve", "--submit", "0:25:3",
+                "--streams", "3", "--arrival-rate", "2.0",
+            ])
+
+    def test_serve_help_documents_submit_precedence(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "cannot be combined with --submit" in out
+
+
+class TestFleetCli:
+    def test_fleet_reports_nodes_and_classes(self, capsys):
+        rc = main([
+            "fleet", "--nodes", "2", "--platforms", "SysHK,SysNF",
+            "--streams", "4", "--frames", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2-node fleet" in out
+        assert "n0" in out and "n1" in out
+        assert "SysNF" in out
+        assert "aggregate:" in out
+        assert "peak-concurrent=" in out
+
+    def test_fleet_node_fault_reroutes(self, capsys):
+        rc = main([
+            "fleet", "--nodes", "3", "--platforms", "SysHK,SysNF",
+            "--streams", "6", "--frames", "5",
+            "--node-fault", "n0@0.15",
+            "--sanitize",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "node-faults=1" in out
+        assert "down" in out
+        assert "schedule sanitizer: clean" in out
+
+    def test_fleet_exports_json_and_trace(self, tmp_path, capsys):
+        import json
+
+        mpath, tpath = tmp_path / "m.json", tmp_path / "t.json"
+        rc = main([
+            "fleet", "--nodes", "2", "--streams", "3", "--frames", "3",
+            "--json", str(mpath), "--trace", str(tpath),
+        ])
+        assert rc == 0
+        metrics = json.loads(mpath.read_text())
+        assert metrics["n_nodes"] == 2
+        assert len(metrics["nodes"]) == 2
+        trace = json.loads(tpath.read_text())
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids and all(p >= 1001 for p in pids)
+
+    def test_fleet_submit_scripted_workload(self, capsys):
+        rc = main([
+            "fleet", "--nodes", "2",
+            "--submit", "0:25:3:realtime",
+            "--submit", "0.1:15:2:background",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "realtime" in out and "background" in out
+
+    def test_fleet_submit_clash_rejected(self):
+        with pytest.raises(SystemExit, match="[-]{2}streams"):
+            main(["fleet", "--submit", "0:25:3", "--streams", "4"])
+
+    def test_fleet_bad_node_fault_names_token(self):
+        with pytest.raises(SystemExit, match="n0@x"):
+            main(["fleet", "--node-fault", "n0@x"])
+
+    def test_fleet_unknown_fault_node_exits(self):
+        with pytest.raises(SystemExit, match="n9"):
+            main(["fleet", "--nodes", "2", "--node-fault", "n9@0.5"])
+
+    def test_fleet_unknown_platform_exits(self):
+        with pytest.raises(SystemExit, match="SysXX"):
+            main(["fleet", "--platforms", "SysXX"])
+
+    def test_fleet_bad_policy_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--policy", "round-robin"])
+
+    def test_fleet_autoscale_prints_events(self, capsys):
+        rc = main([
+            "fleet", "--nodes", "1", "--platforms", "SysNF",
+            "--max-queue", "1", "--autoscale", "--max-nodes", "3",
+            "--streams", "8", "--frames", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "autoscale: " in out and " add " in out

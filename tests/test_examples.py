@@ -70,6 +70,13 @@ class TestExamples:
         assert "deadline-miss rate" in out
         assert "every session saw the dropout" in out
 
+    def test_fleet_serving(self, capsys):
+        run_example("fleet_serving")
+        out = capsys.readouterr().out
+        assert "n0 drops out" in out
+        assert "rerouted off n0" in out
+        assert "CLEAN" in out
+
     def test_streaming_pipeline(self, capsys):
         run_example("streaming_pipeline")
         out = capsys.readouterr().out
