@@ -1,6 +1,6 @@
 """Perf smoke: measure the scheduling fast path and gate regressions.
 
-Produces the two root-level snapshots the repository commits:
+Produces the three root-level snapshots the repository commits:
 
 - ``BENCH_OVERHEAD.json`` — per-platform scheduling overhead of the cold
   path (every optimization off) vs the fast path (warm-start LP,
@@ -8,12 +8,17 @@ Produces the two root-level snapshots the repository commits:
   produce bit-identical simulated timelines;
 - ``BENCH_SERVICE.json`` — a small multi-stream service run on SysHK
   with the shared cross-session LP cache, recording round/frame counts,
-  cache hit rate, and host-side wall time.
+  cache hit rate, and host-side wall time;
+- ``BENCH_PARALLEL.json`` — the true-parallel process backend vs the
+  serial reference encoder: encode fps at 1/2/4/8 workers, bitstream
+  bit-identity, and the calibrated LP's predicted-vs-measured makespan
+  error.
 
 Usage::
 
     python benchmarks/perf_smoke.py --write   # refresh the snapshots
     python benchmarks/perf_smoke.py --check   # CI gate, exit 1 on regression
+    python benchmarks/perf_smoke.py --check --only parallel --workers 2
 
 ``--check`` compares fresh measurements against the committed snapshots
 and fails when the fast path regresses by more than ``REGRESSION_TOL``
@@ -26,10 +31,17 @@ are machine-normalized:
 - the service LP-cache ``hit_rate`` and the deterministic ``rounds`` /
   ``frames`` counts, which must not degrade at all;
 - ``timelines_identical``, which must stay true (the fast path is only
-  acceptable while bit-identical to the cold path).
+  acceptable while bit-identical to the cold path);
+- the process backend's ``bit_identical`` flags (always), its speedup
+  vs the snapshot (same-core-count hosts only, 25% tolerance), the
+  ≥2x-at-4-workers floor (hosts with ≥4 cores only), and a loose sanity
+  bound on the calibrated makespan error (catches a broken calibration
+  loop, not machine noise).
 
 ``--check`` also rewrites the snapshot files afterwards so CI can upload
-the fresh measurements as an artifact without a second run.
+the fresh measurements as an artifact without a second run. ``--only``
+restricts the run to one section; ``--workers N`` caps the parallel
+sweep so 2-vCPU CI runners measure only what they can host.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ from repro.service import EncodingService, ServiceConfig, build_workload
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OVERHEAD_PATH = REPO_ROOT / "BENCH_OVERHEAD.json"
 SERVICE_PATH = REPO_ROOT / "BENCH_SERVICE.json"
+PARALLEL_PATH = REPO_ROOT / "BENCH_PARALLEL.json"
 
 PLATFORMS = ("SysNF", "SysNFF", "SysHK")
 N_FRAMES = 40
@@ -60,6 +73,24 @@ SERVICE_STREAMS = 4
 SERVICE_FRAMES = 8
 
 REGRESSION_TOL = 0.25
+
+# Process-backend smoke: a clip small enough that the full worker sweep
+# stays under a minute on one core, big enough that every device's band
+# splits into several MB-row chunks per worker.
+PARALLEL_CFG = CodecConfig(
+    width=256, height=144, search_range=16, num_ref_frames=1
+)
+PARALLEL_FRAMES = 6
+PARALLEL_WORKERS = (1, 2, 4, 8)
+#: Acceptance floor: 4 workers must be ≥2x the serial encoder — only
+#: enforceable on hosts that actually have ≥4 cores to run them on.
+SPEEDUP_FLOOR_AT_4 = 2.0
+#: Calibrated LP predictions that miss the measured makespan by >300%
+#: mean the calibration loop is feeding garbage (wrong units, wrong
+#: spans), not that the host is noisy: steady-state error is measured
+#: in single-digit percent, and even the worst first-LP-frame
+#: misprediction on an oversubscribed 1-core host stays under ~1x.
+MAKESPAN_ERROR_CEILING = 3.0
 
 
 #: Repetitions per (platform, config); the minimum is kept. Wall-clock
@@ -159,22 +190,163 @@ def measure_service() -> dict:
     }
 
 
-def write(overhead: dict, service: dict) -> None:
-    OVERHEAD_PATH.write_text(json.dumps(overhead, indent=1) + "\n")
-    SERVICE_PATH.write_text(json.dumps(service, indent=1) + "\n")
-    print(f"wrote {OVERHEAD_PATH.name} and {SERVICE_PATH.name}")
+def host_cores() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
-def check(overhead: dict, service: dict) -> list[str]:
+def _encoded_identical(ref_out: list, outcomes: list) -> bool:
+    import numpy as np
+
+    if len(ref_out) != len(outcomes):
+        return False
+    for r, o in zip(ref_out, outcomes, strict=True):
+        e = o.encoded
+        if e is None or r.bits != e.bits or r.mode_histogram != e.mode_histogram:
+            return False
+        if not (
+            np.array_equal(r.recon.y, e.recon.y)
+            and np.array_equal(r.recon.u, e.recon.u)
+            and np.array_equal(r.recon.v, e.recon.v)
+        ):
+            return False
+    return True
+
+
+def measure_parallel(
+    worker_counts: tuple[int, ...] = PARALLEL_WORKERS
+) -> dict:
+    """Serial encoder vs the process backend across worker counts."""
+    from repro.codec.encoder import ReferenceEncoder
+    from repro.video.generator import SyntheticSequence
+
+    cfg = PARALLEL_CFG
+    frames = SyntheticSequence(
+        width=cfg.width, height=cfg.height, seed=7
+    ).frames(PARALLEL_FRAMES)
+
+    t0 = time.perf_counter()
+    ref_out = ReferenceEncoder(cfg).encode_sequence(frames)
+    serial_s = time.perf_counter() - t0
+
+    points: dict[str, dict] = {}
+    for workers in worker_counts:
+        fw = FevesFramework(
+            get_platform("SysHK"), cfg,
+            FrameworkConfig(
+                compute="real", backend="process", exec_workers=workers
+            ),
+        )
+        with fw:
+            t0 = time.perf_counter()
+            outcomes = fw.encode(frames)
+            wall_s = time.perf_counter() - t0
+            acc = fw.accuracy_report().summary()
+        points[str(workers)] = {
+            "fps": round(len(frames) / wall_s, 3),
+            "wall_s": round(wall_s, 3),
+            "speedup": round(serial_s / wall_s, 3),
+            "bit_identical": _encoded_identical(ref_out, outcomes),
+            "lp_frames": acc.get("frames", 0),
+            "makespan_error_mean": round(
+                acc.get("makespan_error_mean", 0.0), 4
+            ),
+            "makespan_error_max": round(acc.get("makespan_error_max", 0.0), 4),
+        }
+    return {
+        "benchmark": "true-parallel process backend vs serial encoder",
+        "platform": "SysHK",
+        "config": (
+            f"{cfg.width}x{cfg.height}, "
+            f"{2 * cfg.search_range}x{2 * cfg.search_range} SA, "
+            f"{cfg.num_ref_frames} RF"
+        ),
+        "n_frames": PARALLEL_FRAMES,
+        "host_cores": host_cores(),
+        "serial_fps": round(PARALLEL_FRAMES / serial_s, 3),
+        "serial_wall_s": round(serial_s, 3),
+        "workers": points,
+    }
+
+
+def check_parallel(parallel: dict, snap: dict | None = None) -> list[str]:
+    """Gate the process-backend smoke (machine-normalized, see module doc).
+
+    ``snap`` overrides the committed ``BENCH_PARALLEL.json`` (the pytest
+    sweep captures the snapshot before rewriting it).
+    """
+    failures: list[str] = []
+    cores = parallel["host_cores"]
+    for w, cur in parallel["workers"].items():
+        if not cur["bit_identical"]:
+            failures.append(
+                f"parallel[{w} workers]: encoded output diverged from the "
+                "serial reference encoder"
+            )
+        if cur["lp_frames"] and cur["makespan_error_mean"] > MAKESPAN_ERROR_CEILING:
+            failures.append(
+                f"parallel[{w} workers]: calibrated makespan error "
+                f"{cur['makespan_error_mean']:.0%} exceeds the "
+                f"{MAKESPAN_ERROR_CEILING:.0%} sanity ceiling "
+                "(calibration loop feeding bad rates?)"
+            )
+    at4 = parallel["workers"].get("4")
+    if at4 is not None and cores >= 4 and at4["speedup"] < SPEEDUP_FLOOR_AT_4:
+        failures.append(
+            f"parallel[4 workers]: speedup {at4['speedup']:.2f}x is below "
+            f"the {SPEEDUP_FLOOR_AT_4:.1f}x floor on a {cores}-core host"
+        )
+    if snap is None:
+        if not PARALLEL_PATH.exists():
+            return failures
+        snap = json.loads(PARALLEL_PATH.read_text())
+    if snap.get("host_cores") != cores:
+        return failures  # speedups are only comparable core-for-core
+    for w, cur in parallel["workers"].items():
+        ref = snap.get("workers", {}).get(w)
+        if ref is None:
+            continue
+        if cur["speedup"] < ref["speedup"] * (1 - REGRESSION_TOL):
+            failures.append(
+                f"parallel[{w} workers]: speedup {cur['speedup']:.2f}x "
+                f"regressed >{REGRESSION_TOL:.0%} vs snapshot "
+                f"{ref['speedup']:.2f}x"
+            )
+    return failures
+
+
+def write(
+    overhead: dict | None, service: dict | None, parallel: dict | None
+) -> None:
+    wrote = []
+    for blob, path in (
+        (overhead, OVERHEAD_PATH),
+        (service, SERVICE_PATH),
+        (parallel, PARALLEL_PATH),
+    ):
+        if blob is not None:
+            path.write_text(json.dumps(blob, indent=1) + "\n")
+            wrote.append(path.name)
+    print(f"wrote {', '.join(wrote)}")
+
+
+def check(overhead: dict | None, service: dict | None) -> list[str]:
     """Compare fresh measurements against the committed snapshots."""
     failures: list[str] = []
-    if not OVERHEAD_PATH.exists() or not SERVICE_PATH.exists():
-        return ["missing committed BENCH_OVERHEAD.json / BENCH_SERVICE.json "
+    if overhead is not None and not OVERHEAD_PATH.exists():
+        return ["missing committed BENCH_OVERHEAD.json "
                 "(run with --write and commit the output)"]
-    snap_o = json.loads(OVERHEAD_PATH.read_text())
-    snap_s = json.loads(SERVICE_PATH.read_text())
+    if service is not None and not SERVICE_PATH.exists():
+        return ["missing committed BENCH_SERVICE.json "
+                "(run with --write and commit the output)"]
+    snap_o = json.loads(OVERHEAD_PATH.read_text()) if overhead else {}
+    snap_s = json.loads(SERVICE_PATH.read_text()) if service else {}
 
-    for platform, cur in overhead["platforms"].items():
+    for platform, cur in (overhead or {"platforms": {}})["platforms"].items():
         if not cur["timelines_identical"]:
             failures.append(
                 f"{platform}: fast-path timelines diverge from cold path"
@@ -190,7 +362,7 @@ def check(overhead: dict, service: dict) -> list[str]:
                     f">{REGRESSION_TOL:.0%} vs snapshot {snap_rel:.4f}"
                 )
 
-    for point, cur in service["workloads"].items():
+    for point, cur in (service or {"workloads": {}})["workloads"].items():
         snap = snap_s.get("workloads", {}).get(point)
         if snap is None:
             continue
@@ -220,32 +392,57 @@ def main(argv: list[str] | None = None) -> int:
     mode.add_argument("--check", action="store_true",
                       help="measure, compare vs committed snapshots "
                            "(exit 1 on regression), then rewrite them")
+    ap.add_argument("--only", choices=("overhead", "service", "parallel"),
+                    help="run a single section instead of all three")
+    ap.add_argument("--workers", type=int, metavar="N",
+                    help="cap the parallel sweep at N workers (pin to the "
+                         "runner's vCPU count for reproducible CI numbers)")
     args = ap.parse_args(argv)
 
-    overhead = measure_overhead()
-    service = measure_service()
-    for platform, v in overhead["platforms"].items():
+    run_all = args.only is None
+    overhead = measure_overhead() if run_all or args.only == "overhead" else None
+    service = measure_service() if run_all or args.only == "service" else None
+    parallel = None
+    if run_all or args.only == "parallel":
+        counts = PARALLEL_WORKERS
+        if args.workers:
+            counts = tuple(w for w in PARALLEL_WORKERS if w <= args.workers)
+            if not counts:
+                counts = (args.workers,)
+        parallel = measure_parallel(counts)
+
+    for platform, v in (overhead or {"platforms": {}})["platforms"].items():
         print(f"{platform}: cold {v['cold_ms_per_frame']:.3f} ms -> fast "
               f"{v['fast_ms_per_frame']:.3f} ms ({v['speedup']}x), "
               f"identical={v['timelines_identical']}")
-    for point, v in service["workloads"].items():
+    for point, v in (service or {"workloads": {}})["workloads"].items():
         misses = ", ".join(
             f"{cls}={rate:.0%}" for cls, rate in v["class_miss_rates"].items()
         )
         print(f"service[{point}]: {v['frames']} frames / {v['rounds']} "
               f"rounds, LP-cache hit rate {v['lp_cache_hit_rate']:.2%}, "
               f"miss {misses or 'n/a'}, wall {v['wall_s']:.2f} s")
+    if parallel is not None:
+        print(f"parallel: serial {parallel['serial_fps']:.2f} fps on "
+              f"{parallel['host_cores']} cores")
+        for w, v in parallel["workers"].items():
+            print(f"parallel[{w} workers]: {v['fps']:.2f} fps "
+                  f"({v['speedup']:.2f}x), identical={v['bit_identical']}, "
+                  f"makespan err mean {v['makespan_error_mean']:.1%} over "
+                  f"{v['lp_frames']} LP frames")
 
     if args.check:
         failures = check(overhead, service)
-        write(overhead, service)
+        if parallel is not None:
+            failures += check_parallel(parallel)
+        write(overhead, service, parallel)
         if failures:
             for f in failures:
                 print(f"PERF REGRESSION: {f}", file=sys.stderr)
             return 1
         print("perf smoke: no regression vs committed snapshots")
         return 0
-    write(overhead, service)
+    write(overhead, service, parallel)
     return 0
 
 

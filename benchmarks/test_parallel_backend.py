@@ -1,0 +1,126 @@
+"""Parallel-backend smoke: serial vs process encode, gate vs BENCH_PARALLEL.json.
+
+Encodes the same synthetic clip with the sequential reference encoder
+and with the ``process`` execution backend at 1/2/4/8 workers, recording
+per point: encode fps, speedup over serial, bitstream bit-identity, and
+the calibrated LP's predicted-vs-measured makespan error. Results land
+in ``benchmarks/results`` *and* as the committed root-level
+``BENCH_PARALLEL.json`` snapshot that CI uploads.
+
+Gating follows ``perf_smoke.py`` (the CI ``parallel-smoke`` job runs
+``perf_smoke.py --check --only parallel --workers 2`` for a pinned,
+2-vCPU-reproducible subset; this pytest sweep is the full local run):
+
+- ``bit_identical`` must hold at every worker count — a parallel run
+  that changes one bit of the bitstream is wrong, not slow;
+- the ≥2x-at-4-workers speedup floor applies only on hosts with ≥4
+  cores (a 1-core container physically cannot parallelize);
+- speedups are compared against the committed snapshot only when the
+  host core count matches (they are meaningless across different
+  parallel budgets); the tolerance is the usual 25%;
+- the calibrated makespan error has a loose 150% sanity ceiling that
+  catches a broken calibration loop, not machine noise.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import perf_smoke
+from conftest import RESULTS_DIR
+from repro.report import format_table
+
+pytestmark = pytest.mark.timeout_guarded
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "BENCH_PARALLEL.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    """The snapshot as committed, captured before any test rewrites it."""
+    if not SNAPSHOT.exists():
+        return None
+    return json.loads(SNAPSHOT.read_text())
+
+
+@pytest.fixture(scope="module")
+def sweep(committed):
+    # Depending on ``committed`` pins the snapshot capture before the
+    # table test rewrites the file.
+    return perf_smoke.measure_parallel()
+
+
+def test_parallel_table_and_snapshot(sweep, emit):
+    rows = [
+        [
+            w,
+            f"{v['fps']:.2f}",
+            f"{v['speedup']:.2f}x",
+            "yes" if v["bit_identical"] else "NO",
+            v["lp_frames"],
+            f"{100 * v['makespan_error_mean']:.1f}%",
+            f"{100 * v['makespan_error_max']:.1f}%",
+        ]
+        for w, v in sweep["workers"].items()
+    ]
+    table = format_table(
+        ["workers", "fps", "speedup", "identical", "LP frames",
+         "mk err mean", "mk err max"],
+        rows,
+        title=(
+            f"process backend vs serial ({sweep['serial_fps']:.2f} fps) — "
+            f"{sweep['config']}, {sweep['n_frames']} frames, "
+            f"{sweep['host_cores']}-core host"
+        ),
+    )
+    emit("parallel_backend", table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_backend.json").write_text(
+        json.dumps(sweep, indent=1) + "\n"
+    )
+    SNAPSHOT.write_text(json.dumps(sweep, indent=1) + "\n")
+
+
+def test_bit_identical_at_every_worker_count(sweep):
+    diverged = [
+        w for w, v in sweep["workers"].items() if not v["bit_identical"]
+    ]
+    assert not diverged, (
+        f"process backend diverged from the serial encoder at worker "
+        f"counts {diverged}"
+    )
+
+
+def test_speedup_floor_on_multicore_hosts(sweep):
+    at4 = sweep["workers"].get("4")
+    if sweep["host_cores"] < 4 or at4 is None:
+        pytest.skip(
+            f"{sweep['host_cores']}-core host cannot demonstrate the "
+            "4-worker speedup floor"
+        )
+    assert at4["speedup"] >= perf_smoke.SPEEDUP_FLOOR_AT_4, (
+        f"4-worker speedup {at4['speedup']:.2f}x below the "
+        f"{perf_smoke.SPEEDUP_FLOOR_AT_4:.1f}x floor on a "
+        f"{sweep['host_cores']}-core host"
+    )
+
+
+def test_calibration_reports_makespan_error(sweep):
+    # The calibration loop must produce an accuracy report: once the LP
+    # engages, every scheduled frame carries a prediction to compare.
+    lp_frames = [v["lp_frames"] for v in sweep["workers"].values()]
+    assert any(n > 0 for n in lp_frames), sweep["workers"]
+    for v in sweep["workers"].values():
+        if v["lp_frames"]:
+            assert v["makespan_error_mean"] <= perf_smoke.MAKESPAN_ERROR_CEILING
+            assert v["makespan_error_max"] >= v["makespan_error_mean"]
+
+
+def test_no_regression_vs_committed_snapshot(sweep, committed):
+    """The 25% machine-normalized gate (same-core-count hosts only)."""
+    if committed is None:
+        pytest.skip("no committed BENCH_PARALLEL.json yet (run once and commit)")
+    failures = perf_smoke.check_parallel(sweep, snap=committed)
+    assert not failures, "\n".join(failures)

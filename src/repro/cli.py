@@ -147,9 +147,10 @@ def _add_workload_args(sub: argparse.ArgumentParser) -> None:
 
 def _codec_cfg(args: argparse.Namespace) -> CodecConfig:
     slices = getattr(args, "slices", 1)
+    width, height = getattr(args, "size", None) or (1920, 1088)
     return CodecConfig(
-        width=1920,
-        height=1088,
+        width=width,
+        height=height,
         search_range=args.sa // 2,
         num_ref_frames=args.refs,
         num_slices=slices,
@@ -173,6 +174,8 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "backend", "sim") == "process":
+        return _cmd_run_process(args)
     cfg = _codec_cfg(args)
     faults = _fault_schedule(args)
     try:
@@ -235,6 +238,82 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not report.clean:
             return 1
     return 0
+
+
+def _encoded_equal(a, b) -> bool:
+    """Bit-identity of two encoded frames (bits, recon planes, modes)."""
+    import numpy as np
+
+    return (
+        a.index == b.index
+        and a.is_intra == b.is_intra
+        and a.bits == b.bits
+        and a.mode_histogram == b.mode_histogram
+        and np.array_equal(a.recon.y, b.recon.y)
+        and np.array_equal(a.recon.u, b.recon.u)
+        and np.array_equal(a.recon.v, b.recon.v)
+    )
+
+
+def _cmd_run_process(args: argparse.Namespace) -> int:
+    """``run --backend process``: really-parallel encode vs the serial encoder."""
+    import time
+
+    from repro.codec.encoder import ReferenceEncoder
+    from repro.video.generator import SyntheticSequence
+
+    if not _fault_schedule(args).empty:
+        raise SystemExit(
+            "error: --backend process cannot inject faults (simulation-only)"
+        )
+    cfg = _codec_cfg(args)
+    frames = SyntheticSequence(
+        width=cfg.width, height=cfg.height, seed=7
+    ).frames(args.frames)
+
+    ref = ReferenceEncoder(cfg)
+    t0 = time.perf_counter()
+    serial = [ref.encode_frame(f) for f in frames]
+    serial_s = time.perf_counter() - t0
+
+    fw = FevesFramework(
+        get_platform(args.platform),
+        cfg,
+        FrameworkConfig(
+            compute="real",
+            backend="process",
+            exec_workers=args.workers,
+            centric=args.centric,
+        ),
+    )
+    with fw:
+        t0 = time.perf_counter()
+        outcomes = fw.encode(frames)
+        process_s = time.perf_counter() - t0
+        accuracy = fw.accuracy_report().summary()
+
+    identical = all(
+        o.encoded is not None and _encoded_equal(s, o.encoded)
+        for s, o in zip(serial, outcomes)
+    )
+    n = len(frames)
+    workers = fw.manager.workers
+    speedup = serial_s / process_s if process_s > 0 else float("inf")
+    print(f"{args.platform}, {cfg.width}x{cfg.height}, {n} frames, "
+          f"{workers} workers (process backend)")
+    print(f"  serial encoder : {n / serial_s:7.2f} fps  ({serial_s:.2f} s)")
+    print(f"  process backend: {n / process_s:7.2f} fps  ({process_s:.2f} s)  "
+          f"-> {speedup:.2f}x")
+    print(f"  bit-identical to serial: {'yes' if identical else 'NO'}")
+    if accuracy.get("frames", 0):
+        print(f"  LP makespan error (predicted vs measured, "
+              f"{accuracy['frames']} LP frames): "
+              f"mean {100 * accuracy['makespan_error_mean']:.1f}%, "
+              f"max {100 * accuracy['makespan_error_max']:.1f}%")
+    else:
+        print("  LP makespan error: n/a (no LP-scheduled frames; "
+              "encode more frames)")
+    return 0 if identical else 1
 
 
 def _serve_workload(args: argparse.Namespace) -> list:
@@ -497,7 +576,70 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_process(args: argparse.Namespace) -> int:
+    """``profile --backend process``: measured exec-phase breakdown."""
+    from repro.util.profiling import PhaseProfiler
+    from repro.video.generator import SyntheticSequence
+
+    cfg = _codec_cfg(args)
+    frames = SyntheticSequence(
+        width=cfg.width, height=cfg.height, seed=7
+    ).frames(args.frames)
+    profiler = PhaseProfiler()
+    fw = FevesFramework(
+        get_platform(args.platform), cfg,
+        FrameworkConfig(
+            compute="real", backend="process", exec_workers=args.workers
+        ),
+        profiler=profiler,
+    )
+    with fw:
+        fw.encode(frames)
+        accuracy = fw.accuracy_report().summary()
+        workers = fw.manager.workers
+    rows = [
+        [r["phase"], r["calls"], f"{r['total_ms']:.2f}",
+         f"{r['ms_per_frame']:.3f}", f"{100 * r['share']:.1f}%"]
+        for r in profiler.report(args.frames)
+    ]
+    print(format_table(
+        ["phase", "calls", "total ms", "ms/frame", "share"], rows,
+        title=(
+            f"process backend: {args.platform}, {cfg.width}x{cfg.height}, "
+            f"{args.frames} frames, {workers} workers"
+        ),
+    ))
+    if accuracy.get("frames", 0):
+        phase_err = ", ".join(
+            f"{k} {100 * v:.1f}%"
+            for k, v in accuracy["phase_error_mean"].items()
+        )
+        print(f"\nsimulated-vs-measured over {accuracy['frames']} LP frames: "
+              f"makespan error mean {100 * accuracy['makespan_error_mean']:.1f}% "
+              f"max {100 * accuracy['makespan_error_max']:.1f}% ({phase_err})")
+    else:
+        print("\nsimulated-vs-measured: no LP-scheduled frames yet")
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps({
+            "platform": args.platform,
+            "backend": "process",
+            "width": cfg.width,
+            "height": cfg.height,
+            "frames": args.frames,
+            "workers": workers,
+            "accuracy": accuracy,
+            **profiler.to_dict(args.frames),
+        }, indent=1))
+        print(f"wrote profile JSON to {args.json}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
+    if getattr(args, "backend", "sim") == "process":
+        return _cmd_profile_process(args)
     from repro.util.profiling import PhaseProfiler
 
     cfg = _codec_cfg(args)
@@ -775,6 +917,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sa", type=int, default=32, help="search-area side")
     run.add_argument("--refs", type=int, default=1)
     run.add_argument("--frames", type=int, default=50)
+    run.add_argument("--backend", default="sim", choices=("sim", "process"),
+                     help="sim = DES model run; process = really encode a "
+                          "synthetic clip on a multiprocessing worker pool "
+                          "and compare against the serial encoder")
+    run.add_argument("--workers", type=int, default=0,
+                     help="process backend pool size (0 = one per CPU core)")
+    run.add_argument("--size", type=_parse_size, default=None, metavar="WxH",
+                     help="frame size (default 1920x1088; use a small size "
+                          "like 256x144 for quick process-backend runs)")
     run.add_argument("--centric", default="auto", choices=("auto", "gpu", "cpu"))
     run.add_argument("--slices", type=int, default=1,
                      help="slices per frame (cross-slice DBL off when >1)")
@@ -884,6 +1035,14 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--sa", type=int, default=32, help="search-area side")
     prof.add_argument("--refs", type=int, default=1)
     prof.add_argument("--frames", type=int, default=50)
+    prof.add_argument("--backend", default="sim", choices=("sim", "process"),
+                     help="process = profile the measured exec phases of a "
+                          "real parallel encode instead of the scheduler")
+    prof.add_argument("--workers", type=int, default=0,
+                     help="process backend pool size (0 = one per CPU core)")
+    prof.add_argument("--size", type=_parse_size, default=None, metavar="WxH",
+                     help="frame size for --backend process (default "
+                          "1920x1088)")
     prof.add_argument("--sanitize", action="store_true",
                       help="also run (and time) the timeline sanitizer")
     prof.add_argument("--json", metavar="PATH",

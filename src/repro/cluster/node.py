@@ -44,6 +44,10 @@ class NodeSpec:
     headroom: float = 1.0
     max_queue: int = 8
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Execution backend of the node's service: "sim" simulates frame
+    #: times; "process" really encodes on a local worker pool.
+    backend: str = "sim"
+    exec_workers: int = 0
 
     def __post_init__(self) -> None:
         if not self.node_id:
@@ -70,6 +74,8 @@ class Node:
                 max_queue=spec.max_queue,
                 faults=spec.faults,
                 scheduler=scheduler or SchedulerConfig(),
+                backend=spec.backend,
+                exec_workers=spec.exec_workers,
             ),
             lp_batch=lp_batch,
         )
@@ -225,6 +231,9 @@ class Node:
             raise ValueError(f"retire state must be down/drained, got {state!r}")
         self.state = state
         self.retired_s = now
+        # A retired process-backed node must not leak worker pools or
+        # shared-memory segments (no-op for sim sessions).
+        self.service.close()
 
 
 __all__ = [

@@ -61,6 +61,29 @@ class MotionField:
             if self.sads[shape].shape != want_scalar:
                 raise ValueError(f"sads[{shape}] bad shape")
 
+    def slice_rows(self, row0: int, nrows: int) -> "MotionField":
+        """A sub-band view of this field covering ``[row0, row0 + nrows)``.
+
+        The inverse of :meth:`merge`: the process backend ships each SME
+        work item only the MB rows it refines instead of the whole merged
+        field (the slice pickles as a copy of just those rows).
+        """
+        if row0 < self.row0 or row0 + nrows > self.row0 + self.nrows:
+            raise ValueError(
+                f"band [{row0}, {row0 + nrows}) outside field "
+                f"[{self.row0}, {self.row0 + self.nrows})"
+            )
+        a = row0 - self.row0
+        out = MotionField(
+            row0=row0, nrows=nrows, mb_cols=self.mb_cols,
+            mode_shapes=self.mode_shapes,
+        )
+        for shape in self.mode_shapes:
+            out.mvs[shape] = self.mvs[shape][a : a + nrows]
+            out.refs[shape] = self.refs[shape][a : a + nrows]
+            out.sads[shape] = self.sads[shape][a : a + nrows]
+        return out
+
     @staticmethod
     def merge(parts: list["MotionField"]) -> "MotionField":
         """Stitch row-band results (from different devices) into one field.

@@ -696,32 +696,42 @@ class VideoCodingManager:
         assert ctx is not None
 
         def thunk(_op: Op) -> None:
-            assert ctx.sme_field is not None
-            mc = motion_compensate(
-                ctx.cur, ctx.sme_field, ctx.sfs, ctx.chroma, ctx.cfg, ctx.qp
-            )
-            res = encode_inter_residual_full(
-                ctx.cur, mc.pred, ctx.qp, coder=get_coder(ctx.cfg.entropy_coder)
-            )
-            recon, res_bits, cnz4 = res.recon, res.bits, res.cnz4
-            h, w = ctx.cur.y.shape
-            intra4 = np.zeros((h // 4, w // 4), dtype=bool)
-            from repro.codec.slices import dbl_skip_luma_rows
-
-            recon = deblock_frame(
-                recon, mc.mv4, mc.ref4, cnz4, intra4, ctx.qp,
-                skip_luma_rows=dbl_skip_luma_rows(ctx.cfg),
-            )
-            hist: dict[tuple[int, int], int] = {}
-            for mode_i, shape in enumerate(ctx.sme_field.mode_shapes):
-                hist[shape] = int((mc.mode_idx == mode_i).sum())
-            ctx.encoded = EncodedFrame(
-                index=ctx.frame_index,
-                is_intra=False,
-                bits=res_bits + mc.header_bits,
-                psnr=frame_psnr(ctx.cur, recon),
-                recon=recon,
-                mode_histogram=hist,
-            )
+            execute_rstar(ctx)
 
         return thunk
+
+
+def execute_rstar(ctx: RealContext) -> None:
+    """The R* block (MC → T/Q/T⁻¹/Q⁻¹ → entropy → DBL) on one context.
+
+    Shared by both execution backends: the sim backend calls it from the
+    R* op thunk, the process backend calls it directly on the host after
+    the τ2 barrier. Fills ``ctx.encoded``.
+    """
+    assert ctx.sme_field is not None
+    mc = motion_compensate(
+        ctx.cur, ctx.sme_field, ctx.sfs, ctx.chroma, ctx.cfg, ctx.qp
+    )
+    res = encode_inter_residual_full(
+        ctx.cur, mc.pred, ctx.qp, coder=get_coder(ctx.cfg.entropy_coder)
+    )
+    recon, res_bits, cnz4 = res.recon, res.bits, res.cnz4
+    h, w = ctx.cur.y.shape
+    intra4 = np.zeros((h // 4, w // 4), dtype=bool)
+    from repro.codec.slices import dbl_skip_luma_rows
+
+    recon = deblock_frame(
+        recon, mc.mv4, mc.ref4, cnz4, intra4, ctx.qp,
+        skip_luma_rows=dbl_skip_luma_rows(ctx.cfg),
+    )
+    hist: dict[tuple[int, int], int] = {}
+    for mode_i, shape in enumerate(ctx.sme_field.mode_shapes):
+        hist[shape] = int((mc.mode_idx == mode_i).sum())
+    ctx.encoded = EncodedFrame(
+        index=ctx.frame_index,
+        is_intra=False,
+        bits=res_bits + mc.header_bits,
+        psnr=frame_psnr(ctx.cur, recon),
+        recon=recon,
+        mode_histogram=hist,
+    )

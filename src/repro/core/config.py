@@ -16,6 +16,12 @@ COMPUTE_MODES = ("model", "real")
 #: ``"gpu"``/``"cpu"`` force the paper's GPU-/CPU-centric configurations.
 CENTRIC_MODES = ("auto", "gpu", "cpu")
 
+#: Execution backends: ``"sim"`` runs the collaborative schedule on the
+#: DES (and, in real mode, executes kernels serially on the host);
+#: ``"process"`` really executes ME/INT/SME on a persistent
+#: multiprocessing worker pool over shared-memory frame buffers.
+BACKENDS = ("sim", "process")
+
 
 @dataclass
 class FrameworkConfig:
@@ -97,6 +103,19 @@ class FrameworkConfig:
         Use the index-based DES fast path (deque scheduling + vectorized
         overlap validation). Event order and arithmetic are identical to
         the reference loop; disable only to benchmark it.
+    backend:
+        ``"sim"`` (the DES) or ``"process"`` (really-parallel execution
+        on a multiprocessing worker pool over shared-memory buffers; see
+        :data:`BACKENDS` and :mod:`repro.exec`). ``"process"`` requires
+        ``compute="real"`` and an empty fault schedule — faults are a
+        simulation concept.
+    exec_workers:
+        Process backend: worker-pool size. 0 = one worker per CPU core.
+    calibrate:
+        Process backend: feed *measured* per-module spans into the
+        Performance Characterization so the LP schedules from real rates.
+        False feeds the model rates instead, so the accuracy report
+        quantifies the uncalibrated model error.
     """
 
     compute: str = "model"
@@ -117,12 +136,27 @@ class FrameworkConfig:
     lp_warm_start: bool = True
     char_cache: bool = True
     des_fast: bool = True
+    backend: str = "sim"
+    exec_workers: int = 0
+    calibrate: bool = True
 
     def __post_init__(self) -> None:
         if self.compute not in COMPUTE_MODES:
             raise ValueError(
                 f"compute must be one of {COMPUTE_MODES}, got {self.compute!r}"
             )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "process":
+            if self.compute != "real":
+                raise ValueError("backend='process' requires compute='real'")
+            if not self.faults.empty:
+                raise ValueError(
+                    "backend='process' cannot inject faults (simulation-only)"
+                )
+        check_range("exec_workers", self.exec_workers, 0, 64)
         if self.centric not in CENTRIC_MODES:
             raise ValueError(
                 f"centric must be one of {CENTRIC_MODES}, got {self.centric!r}"

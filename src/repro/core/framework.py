@@ -84,9 +84,18 @@ class FevesFramework:
         self.balancer = LoadBalancer(
             platform, codec_cfg, self.fw_cfg, profiler=self.profiler
         )
-        self.manager = VideoCodingManager(
-            platform, codec_cfg, self.fw_cfg, profiler=self.profiler
-        )
+        if self.fw_cfg.backend == "process":
+            # Lazy import: repro.exec depends on the coding manager (for
+            # the run_frame contract), never the other way round.
+            from repro.exec.backend import ProcessBackend
+
+            self.manager: VideoCodingManager | ProcessBackend = ProcessBackend(
+                platform, codec_cfg, self.fw_cfg, profiler=self.profiler
+            )
+        else:
+            self.manager = VideoCodingManager(
+                platform, codec_cfg, self.fw_cfg, profiler=self.profiler
+            )
         self.dam = DataAccessManager(
             platform, sizes, enable_parking=self.fw_cfg.enable_parking
         )
@@ -218,14 +227,48 @@ class FevesFramework:
         """
         if self.fw_cfg.compute != "real":
             raise RuntimeError('encode() requires FrameworkConfig(compute="real")')
-        outcomes: list[FrameOutcome] = []
+        return [self.encode_frame_at(cur, f) for f, cur in enumerate(frames)]
+
+    def encode_frame_at(self, cur: YuvFrame, index: int) -> FrameOutcome:
+        """Encode one frame of a real-mode sequence (stepping API).
+
+        Exactly one iteration of :meth:`encode`'s loop, keyed by the
+        source frame index: 0 (and every ``gop_size``-th index) is coded
+        intra, everything else runs the collaborative inter loop. The
+        service layer uses this to interleave *really-executed* frames
+        of many streams (process backend), the way
+        :meth:`encode_next_inter` interleaves simulated ones.
+        """
+        if self.fw_cfg.compute != "real":
+            raise RuntimeError(
+                'encode_frame_at() requires FrameworkConfig(compute="real")'
+            )
         gop = self.fw_cfg.gop_size
-        for f, cur in enumerate(frames):
-            if f == 0 or (gop > 0 and f % gop == 0):
-                outcomes.append(self._encode_intra_host(cur, f))
-            else:
-                outcomes.append(self._encode_inter(cur))
-        return outcomes
+        if index == 0 or (gop > 0 and index % gop == 0):
+            return self._encode_intra_host(cur, index)
+        return self._encode_inter(cur)
+
+    # ------------------------- backend lifecycle ------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (worker pool, shared memory).
+
+        No-op for the sim backend; idempotent. Use the framework as a
+        context manager to make this automatic.
+        """
+        closer = getattr(self.manager, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "FevesFramework":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def accuracy_report(self):
+        """The process backend's predicted-vs-measured report (else None)."""
+        return getattr(self.manager, "accuracy", None)
 
     def _encode_intra_host(self, cur: YuvFrame, index: int) -> FrameOutcome:
         """Code an I frame on the host (untimed) and reset device state.

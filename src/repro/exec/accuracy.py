@@ -1,0 +1,78 @@
+"""Predicted-vs-measured accuracy accounting for the process backend.
+
+The LP (Algorithm 2) predicts τ1/τ2/τtot for every frame it schedules;
+the process backend measures the same quantities on the wall clock. The
+report aggregates the per-frame relative errors so a single number —
+makespan error — says how well the simulator's performance model
+predicts reality on this machine, and per-phase errors localize which
+model (ME+INT rates, SME rates, or the R* residual) is off.
+
+Frames the LP did not schedule (warm-up, equidistant fallback) carry no
+prediction and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FrameAccuracy:
+    """One frame's predicted vs measured phase times (seconds)."""
+
+    frame_index: int
+    tau1_pred: float
+    tau2_pred: float
+    tau_tot_pred: float
+    tau1_meas: float
+    tau2_meas: float
+    tau_tot_meas: float
+
+    def phase_errors(self) -> dict[str, float]:
+        """Relative error ``|measured - predicted| / predicted`` per phase."""
+        out: dict[str, float] = {}
+        pairs = (
+            ("tau1", self.tau1_pred, self.tau1_meas),
+            ("tau2", self.tau2_pred, self.tau2_meas),
+            ("tau_tot", self.tau_tot_pred, self.tau_tot_meas),
+        )
+        for name, pred, meas in pairs:
+            if pred > 0:
+                out[name] = abs(meas - pred) / pred
+        return out
+
+    @property
+    def makespan_error(self) -> float:
+        """Relative makespan (τtot) error; 0 when there is no prediction."""
+        if self.tau_tot_pred <= 0:
+            return 0.0
+        return abs(self.tau_tot_meas - self.tau_tot_pred) / self.tau_tot_pred
+
+
+@dataclass
+class AccuracyReport:
+    """Accumulates :class:`FrameAccuracy` rows over an encode."""
+
+    frames: list[FrameAccuracy] = field(default_factory=list)
+
+    def add(self, fa: FrameAccuracy) -> None:
+        self.frames.append(fa)
+
+    def summary(self) -> dict[str, object]:
+        """JSON-ready aggregate: mean/max makespan error + per-phase means."""
+        if not self.frames:
+            return {"frames": 0}
+        mk = [fa.makespan_error for fa in self.frames]
+        phase_sums: dict[str, list[float]] = {}
+        for fa in self.frames:
+            for name, err in fa.phase_errors().items():
+                phase_sums.setdefault(name, []).append(err)
+        return {
+            "frames": len(self.frames),
+            "makespan_error_mean": sum(mk) / len(mk),
+            "makespan_error_max": max(mk),
+            "phase_error_mean": {
+                name: sum(errs) / len(errs)
+                for name, errs in sorted(phase_sums.items())
+            },
+        }

@@ -1,0 +1,176 @@
+"""Persistent multiprocessing worker pool for the codec kernels.
+
+Workers attach to the :class:`~repro.exec.shm.SharedFrameStore` segments
+once, in the pool initializer, and afterwards every task is pure
+coordinates: ``(row0, nrows)`` plus small metadata. ME and SME return
+their per-band motion fields (a few KB per MB row); INT writes its SF band
+straight into the shared ``sf0`` slot and returns nothing — no pixel
+plane ever crosses a process boundary.
+
+Each task also returns its own ``time.perf_counter()`` start/end pair.
+On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is machine-wide,
+so worker timestamps are directly comparable with the host's frame-start
+anchor; the backend clamps defensively on platforms where they are not.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.codec.config import MB_SIZE, CodecConfig
+from repro.codec.interpolation import interpolate_rows
+from repro.codec.me import MotionField, motion_estimate_rows
+from repro.codec.sme import SubpelField, subpel_refine_rows
+from repro.exec.shm import SLOT_DTYPE, Layout
+
+#: Environment override for the pool start method ("fork"/"spawn"/...).
+START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
+
+# Per-worker attachment state, populated once by _attach_worker(). The
+# SharedMemory objects are kept alive so the numpy views stay valid for
+# the life of the worker process; the owning host unlinks the segments.
+_VIEWS: dict[str, np.ndarray] = {}
+_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+_CFG: CodecConfig | None = None
+
+
+def _attach_worker(layout: Layout, cfg: CodecConfig) -> None:
+    """Pool initializer: map every shared slot into this worker."""
+    global _CFG
+    _CFG = cfg
+    for key, (name, shape) in layout.items():
+        seg = shared_memory.SharedMemory(name=name)
+        _SEGMENTS[key] = seg
+        _VIEWS[key] = np.ndarray(shape, dtype=SLOT_DTYPE, buffer=seg.buf)
+
+
+def _cfg() -> CodecConfig:
+    if _CFG is None:
+        raise RuntimeError("worker not attached (pool initializer did not run)")
+    return _CFG
+
+
+def _rf_view() -> np.ndarray:
+    """Unpadded newest-reference plane: the centred view of ``ref0``."""
+    cfg = _cfg()
+    sr = cfg.search_range
+    pad = _VIEWS["ref0"]
+    if sr == 0:
+        return pad
+    return pad[sr:-sr, sr:-sr]
+
+
+def me_task(
+    row0: int, nrows: int, n_refs: int
+) -> tuple[MotionField, float, float]:
+    """Full-search ME over one chunk of MB rows (prepadded refs)."""
+    cfg = _cfg()
+    t0 = time.perf_counter()
+    refs = [_VIEWS[f"ref{k}"] for k in range(n_refs)]
+    out = motion_estimate_rows(
+        _VIEWS["cur"], refs, row0, nrows, cfg, refs_prepadded=True
+    )
+    return out, t0, time.perf_counter()
+
+
+def int_task(row0: int, nrows: int) -> tuple[None, float, float]:
+    """Interpolate one SF band and write it into ``sf0`` in place.
+
+    Bands are disjoint by construction (they partition the frame's MB
+    rows), so concurrent INT tasks never write the same byte, and
+    ``interpolate_rows`` is bit-exact with the matching rows of the
+    full-plane kernel — the stitched ``sf0`` is identical to a serial
+    ``interpolate_plane`` run.
+    """
+    t0 = time.perf_counter()
+    band = interpolate_rows(_rf_view(), row0, nrows)
+    px = 4 * MB_SIZE
+    _VIEWS["sf0"][px * row0 : px * (row0 + nrows), :] = band
+    return None, t0, time.perf_counter()
+
+
+def sme_task(
+    row0: int, nrows: int, n_sfs: int, me_band: MotionField
+) -> tuple[SubpelField, float, float]:
+    """Quarter-pel refinement over one chunk (reads the stitched SFs)."""
+    cfg = _cfg()
+    t0 = time.perf_counter()
+    sfs = [_VIEWS[f"sf{k}"] for k in range(n_sfs)]
+    out = subpel_refine_rows(_VIEWS["cur"], sfs, me_band, row0, nrows, cfg)
+    return out, t0, time.perf_counter()
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits nothing we rely on)."""
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class KernelPool:
+    """A persistent, pre-attached pool of kernel workers.
+
+    Thin wrapper over :class:`~concurrent.futures.ProcessPoolExecutor`
+    whose only job is to keep the submit API typed per kernel and to make
+    shutdown explicit (``close()``): the pool lives for a whole encode,
+    not per frame, so worker start-up and segment attachment are paid
+    once.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        layout: Layout,
+        cfg: CodecConfig,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        ctx = multiprocessing.get_context(start_method or default_start_method())
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_attach_worker,
+            initargs=(layout, cfg),
+        )
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            raise RuntimeError("kernel pool is closed")
+        return self._pool
+
+    def submit_me(
+        self, row0: int, nrows: int, n_refs: int
+    ) -> "Future[tuple[MotionField, float, float]]":
+        return self._executor().submit(me_task, row0, nrows, n_refs)
+
+    def submit_int(
+        self, row0: int, nrows: int
+    ) -> "Future[tuple[None, float, float]]":
+        return self._executor().submit(int_task, row0, nrows)
+
+    def submit_sme(
+        self, row0: int, nrows: int, n_sfs: int, me_band: MotionField
+    ) -> "Future[tuple[SubpelField, float, float]]":
+        return self._executor().submit(sme_task, row0, nrows, n_sfs, me_band)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent; queued tasks are dropped)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "KernelPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

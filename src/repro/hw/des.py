@@ -303,42 +303,61 @@ class Simulator:
         """Execute thunks on a thread pool in dependency order.
 
         Ops are dispatched as soon as every predecessor's thunk has
-        finished; exceptions propagate to the caller after the pool drains,
-        except for ``fail_ok`` ops whose errors are captured on the op.
+        finished. Error semantics match the serial Kahn loop: a
+        ``fail_ok`` op's exception is captured on the op and its
+        successors still run; a fatal exception aborts the DAG — no new
+        op is submitted after it is observed, in-flight ops drain, and
+        the fatal error of the *earliest issued* failed op is raised
+        (deterministic regardless of thread completion order).
         """
-        from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+        from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 
         pending = {op: len(preds[op]) for op in ops}
-        errors: list[BaseException] = []
+        order = {op: k for k, op in enumerate(ops)}
+        fatal: list[tuple[Op, BaseException]] = []
+        submitted = 0
 
-        def execute(op: Op) -> Op:
+        def execute(op: Op) -> tuple[Op, BaseException | None]:
+            # Never raises: the worker reports the exception with its op so
+            # the drain loop can abort deterministically.
             if op.thunk is not None:
                 try:
                     op.result = op.thunk(op)
                 except Exception as exc:
                     if not op.fail_ok:
-                        raise
+                        return op, exc
                     op.error = exc
-            return op
+            return op, None
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute, op) for op in ops if pending[op] == 0
-            }
+            futures: set[Future[tuple[Op, BaseException | None]]] = set()
+            for op in ops:
+                if pending[op] == 0:
+                    futures.add(pool.submit(execute, op))
+                    submitted += 1
             while futures:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for fut in finished:
-                    exc = fut.exception()
+                    op, exc = fut.result()
                     if exc is not None:
-                        errors.append(exc)
+                        fatal.append((op, exc))
                         continue
-                    op = fut.result()
+                    if fatal:
+                        # Aborting: let in-flight work drain, submit nothing.
+                        continue
                     for s in succs[op]:
                         pending[s] -= 1
                         if pending[s] == 0:
                             futures.add(pool.submit(execute, s))
-        if errors:
-            raise errors[0]
+                            submitted += 1
+        if fatal:
+            fatal.sort(key=lambda pair: order[pair[0]])
+            raise fatal[0][1]
+        if submitted != len(ops):
+            stuck = [op.label for op in ops if pending[op] > 0][:8]
+            raise RuntimeError(
+                f"thunk scheduling stalled; never-ready ops: {stuck}"
+            )
 
     def makespan(self) -> float:
         """End time of the last op (valid after :meth:`run`)."""

@@ -61,7 +61,7 @@ DATAFLOW_RULES: dict[str, str] = {
 RULE_SCOPES: dict[str, re.Pattern[str]] = {
     "REP101": re.compile(r"repro/(hw|core)/"),
     "REP102": re.compile(r"repro/(hw|core|service)/"),
-    "REP103": re.compile(r"repro/(hw|core|service)/"),
+    "REP103": re.compile(r"repro/(hw|core|service|exec)/"),
     "REP104": re.compile(r"repro/(hw/calibration|core/analysis)\.py$"),
 }
 

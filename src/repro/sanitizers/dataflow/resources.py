@@ -13,6 +13,16 @@ Pairing is name-based (``acquire``/``release``, ``reserve``/``free``,
 …) and receiver-based (``eng.acquire()`` is cleared by
 ``eng.release()``, not by releasing some other engine), which is
 exactly the granularity the DES resource API exposes.
+
+OS-level resources are tracked the same way: constructing a
+``SharedMemory`` segment bound to a single name
+(``seg = SharedMemory(...)``) acquires a token on that name, and
+``seg.close()`` / ``seg.unlink()`` release it.  Ownership may *escape*
+instead of being released in-function: returning the held name, or
+assigning exactly the held name to something else
+(``self._segments[k] = seg``), transfers responsibility to the new
+owner and drops the token — the container's own ``close()`` is then
+the audited release site.
 """
 
 from __future__ import annotations
@@ -54,8 +64,23 @@ RELEASE_NAMES = frozenset(
         "unclaim",
         "unlock_engine",
         "close",
+        "unlink",
     }
 )
+
+#: Constructors whose bare call acquires an OS resource: a single-name
+#: assignment ``x = Ctor(...)`` holds a token on ``x`` until a release
+#: call on ``x`` or an ownership escape (return / re-assignment of ``x``).
+CONSTRUCTOR_ACQUIRES = frozenset({"SharedMemory"})
+
+
+def _callable_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
 
 
 def _receiver_key(call: ast.Call) -> str | None:
@@ -127,7 +152,40 @@ class ResourceAnalysis:
                     key = _receiver_key(sub)
                     if key is not None:
                         held = {t for t in held if t[0] != key}
+        held = self._statement_ownership(elem, held)
         return frozenset(held)
+
+    @staticmethod
+    def _statement_ownership(elem: Element, held: set[Token]) -> set[Token]:
+        """Constructor acquisition and ownership escape (see module doc)."""
+        # Constructor tokens are keyed by the bound *variable* name, the
+        # same key `_receiver_key` yields for `seg.close()`/`seg.unlink()`.
+        if isinstance(elem, ast.Return):
+            if isinstance(elem.value, ast.Name):
+                key = elem.value.id
+                return {t for t in held if t[0] != key}
+            return held
+        if not isinstance(elem, (ast.Assign, ast.AnnAssign)):
+            return held
+        value = elem.value
+        targets = elem.targets if isinstance(elem, ast.Assign) else [elem.target]
+        if isinstance(value, ast.Name):
+            # `owner[...] = seg` / `other = seg`: ownership moves to the
+            # new binding; the original token is no longer this
+            # function's responsibility.
+            key = value.id
+            return {t for t in held if t[0] != key}
+        if (
+            isinstance(value, ast.Call)
+            and _callable_name(value) in CONSTRUCTOR_ACQUIRES
+            and len(targets) == 1
+            and isinstance(targets[0], ast.Name)
+        ):
+            held = set(held)
+            held.add(
+                (targets[0].id, value.lineno, value.col_offset + 1)
+            )
+        return held
 
     def exc_transfer(
         self, elem: Element, before: State, after: State

@@ -75,12 +75,22 @@ class ServiceConfig:
     faults: FaultSchedule = field(default_factory=FaultSchedule)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     max_rounds: int = 100_000
+    backend: str = "sim"
+    exec_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.headroom <= 0:
             raise ValueError(f"headroom must be > 0, got {self.headroom}")
         if self.max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.backend not in ("sim", "process"):
+            raise ValueError(
+                f"backend must be 'sim' or 'process', got {self.backend!r}"
+            )
+        if self.backend == "process" and not self.faults.empty:
+            raise ValueError(
+                "backend='process' cannot inject faults (simulation-only)"
+            )
 
 
 #: ``step_round`` outcomes (see its docstring).
@@ -148,7 +158,11 @@ class EncodingService:
     def submit(self, spec: StreamSpec, live: frozenset[str]) -> EncodingSession:
         """Create a session for a newly arrived stream and offer it."""
         session = EncodingSession(
-            spec, self.cfg.platform, faults=self.cfg.faults
+            spec,
+            self.cfg.platform,
+            faults=self.cfg.faults,
+            backend=self.cfg.backend,
+            exec_workers=self.cfg.exec_workers,
         )
         self.lp_batch.attach(session)
         self.sessions.append(session)
@@ -199,8 +213,19 @@ class EncodingService:
         self.rounds += 1
         return ENCODED
 
+    def close(self) -> None:
+        """Release every session's backend resources (idempotent).
+
+        Only process-backed sessions hold anything (worker pools, shared
+        memory); they already self-close on completion, so this catches
+        sessions abandoned mid-stream (rejected, or a crashed run).
+        """
+        for session in self.sessions:
+            session.close()
+
     def finalize(self) -> ServiceMetrics:
         """Collect (and cache) the metrics of everything served so far."""
+        self.close()
         self._metrics = ServiceMetrics.collect(
             platform=self.cfg.platform,
             duration_s=self.now,

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.codec.config import CodecConfig
 from repro.core.config import FrameworkConfig
-from repro.core.framework import FevesFramework
+from repro.core.framework import FevesFramework, FrameOutcome
 from repro.hw.noise import FaultEvent, FaultSchedule
 from repro.hw.presets import get_platform
 
@@ -158,21 +158,51 @@ QUEUED, RUNNING, DONE, REJECTED = "queued", "running", "done", "rejected"
 
 
 class EncodingSession:
-    """Runtime state of one admitted (or waiting) stream."""
+    """Runtime state of one admitted (or waiting) stream.
+
+    ``backend="process"`` makes the session *really encode* a
+    deterministic synthetic clip (seeded from the stream id) on a
+    multiprocessing worker pool instead of simulating the frame times —
+    the service clock then advances by measured wall seconds. Capacity
+    shares still steer the co-scheduler's allocation decisions, but they
+    cannot slow a measured encode down: every session's pool runs on the
+    same physical cores and the OS arbitrates them.
+    """
 
     def __init__(
         self,
         spec: StreamSpec,
         platform_name: str,
         faults: FaultSchedule | None = None,
+        backend: str = "sim",
+        exec_workers: int = 0,
     ) -> None:
         self.spec = spec
+        self.backend = backend
         self.fault_view = SessionFaultView(faults or FaultSchedule())
+        if backend == "process":
+            import zlib
+
+            from repro.video.generator import SyntheticSequence
+
+            fw_cfg = FrameworkConfig(
+                compute="real",
+                backend="process",
+                exec_workers=exec_workers,
+                faults=self.fault_view,
+            )
+            self._source: SyntheticSequence | None = SyntheticSequence(
+                width=spec.width,
+                height=spec.height,
+                seed=zlib.crc32(spec.stream_id.encode()) & 0x7FFFFFFF,
+            )
+        else:
+            fw_cfg = FrameworkConfig(faults=self.fault_view)
+            self._source = None
         self.framework = FevesFramework(
-            get_platform(platform_name),
-            spec.codec_config(),
-            FrameworkConfig(faults=self.fault_view),
+            get_platform(platform_name), spec.codec_config(), fw_cfg
         )
+        self._intra_done = False
         self.state = QUEUED
         self.admitted_s: float | None = None
         self.records: list[FrameRecord] = []
@@ -243,6 +273,23 @@ class EncodingSession:
 
     # ------------------------------------------------------------------
 
+    def _encode_next(self) -> FrameOutcome:
+        """Advance the framework by one inter frame (backend-specific)."""
+        if self._source is None:
+            return self.framework.encode_next_inter()
+        # Process backend: really encode the session's synthetic clip.
+        # The leading intra frame is host work outside the service clock
+        # (as in the paper's evaluation), produced lazily on first step.
+        if not self._intra_done:
+            self.framework.encode_frame_at(self._source.frame(0), 0)
+            self._intra_done = True
+        idx = self.frames_done + 1
+        return self.framework.encode_frame_at(self._source.frame(idx), idx)
+
+    def close(self) -> None:
+        """Release backend resources (worker pool/shared memory)."""
+        self.framework.close()
+
     def step(self, now: float, share: float, round_idx: int) -> FrameRecord:
         """Encode the session's next frame at ``share`` of the platform."""
         if self.state != RUNNING or self.done:
@@ -250,7 +297,7 @@ class EncodingSession:
         for dev in self.framework.platform.devices:
             dev.set_capacity_share(share)
         self.fault_view.round = round_idx
-        outcome = self.framework.encode_next_inter()
+        outcome = self._encode_next()
         tau = outcome.report.tau_tot
         # Device-seconds actually consumed: busy time on the session's
         # scaled clock × its share of the engine.
@@ -279,4 +326,7 @@ class EncodingSession:
             self._tau_full_ewma = 0.5 * full + 0.5 * self._tau_full_ewma
         if self.done:
             self.state = DONE
+            # A finished process-backed session holds a worker pool and
+            # shared segments; free them as soon as the stream completes.
+            self.close()
         return rec

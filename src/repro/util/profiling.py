@@ -27,6 +27,13 @@ PHASE_ORDER = (
     "plan",
     "des_build",
     "des",
+    "exec_start",
+    "exec_write",
+    "exec_phase1",
+    "exec_tau1",
+    "exec_phase2",
+    "exec_tau2",
+    "exec_rstar",
     "sanitizer",
 )
 

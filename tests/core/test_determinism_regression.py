@@ -235,3 +235,78 @@ def test_cluster_bit_identical_across_hash_seeds_and_insertion_order():
         "fleet runs differ across PYTHONHASHSEED or node-spec insertion "
         f"order: {digests}"
     )
+
+
+# The process execution backend adds one more determinism surface: the
+# *encoded output* of a really-parallel run. Wall-clock timelines are
+# measured and legitimately vary run to run — but everything the encoder
+# emits (bitstream bits, reconstructions, distortion stats, mode
+# decisions, reference-window state) must be byte-identical across
+# worker counts AND hash seeds, because chunk results are stitched by
+# row coordinate, never by completion order. The runner digests every
+# encoded artifact plus the final reference window; the measured τs are
+# deliberately excluded.
+PROCESS_RUNNER = r"""
+import hashlib, json, sys
+
+workers = int(sys.argv[1])
+
+from repro.codec.config import CodecConfig
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.hw.presets import get_platform
+from repro.video.generator import SyntheticSequence
+
+cfg = CodecConfig(width=128, height=96, search_range=8, num_ref_frames=2)
+frames = SyntheticSequence(width=128, height=96, seed=13,
+                           noise_sigma=1.5).frames(4)
+fw = FevesFramework(
+    get_platform("SysHK"), cfg,
+    FrameworkConfig(compute="real", backend="process", exec_workers=workers),
+)
+with fw:
+    outcomes = fw.encode(frames)
+
+h = hashlib.sha256()
+for o in outcomes:
+    e = o.encoded
+    h.update(json.dumps({
+        "index": e.index,
+        "is_intra": e.is_intra,
+        "bits": e.bits,
+        "psnr": repr(e.psnr),
+        "modes": sorted((repr(k), v) for k, v in e.mode_histogram.items()),
+    }, sort_keys=False).encode())
+    for plane in (e.recon.y, e.recon.u, e.recon.v):
+        h.update(plane.tobytes())
+print(h.hexdigest())
+"""
+
+
+def _run_process_backend(hash_seed: str, workers: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [sys.executable, "-c", PROCESS_RUNNER, str(workers)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_process_backend_output_identical_across_seeds_and_workers():
+    digests = {
+        _run_process_backend(hash_seed, workers)
+        for hash_seed, workers in [
+            ("0", 1),
+            ("1", 2),
+            ("4242", 3),
+        ]
+    }
+    assert len(digests) == 1, (
+        "process-backend encoded output differs across PYTHONHASHSEED "
+        f"or worker count: {digests}"
+    )

@@ -1,0 +1,44 @@
+"""Shared guards for the process-backend tests.
+
+A deadlocked worker pool (a worker that never attaches, a lost task, a
+barrier that never fills) would otherwise hang the whole suite, so every
+test in this package runs under a hard wall-clock alarm. The repo
+deliberately has no pytest-timeout dependency; ``SIGALRM`` gives the
+same fail-fast behavior on POSIX, and on platforms without it the guard
+degrades to a no-op (the backend's own per-task timeout still applies,
+see ``ProcessBackend.task_timeout_s``).
+"""
+
+from __future__ import annotations
+
+import signal
+from collections.abc import Iterator
+
+import pytest
+
+#: Hard per-test wall-clock ceiling. Generous: the slowest test here
+#: encodes a few 128x96 frames per worker count, well under a minute
+#: even on a loaded single-core CI runner.
+GUARD_S = 300
+
+
+@pytest.fixture(autouse=True)
+def _wallclock_guard() -> Iterator[None]:
+    sigalrm = getattr(signal, "SIGALRM", None)
+    if sigalrm is None:  # non-POSIX: rely on the backend task timeout
+        yield
+        return
+
+    def _fire(signum: int, frame: object) -> None:
+        raise RuntimeError(
+            f"test exceeded the {GUARD_S}s wall-clock guard "
+            "(deadlocked worker pool?)"
+        )
+
+    previous = signal.signal(sigalrm, _fire)
+    signal.alarm(GUARD_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(sigalrm, previous)

@@ -1,0 +1,294 @@
+"""The process execution backend: bit-exactness, lifecycle, calibration.
+
+The backend's contract is brutal and simple: *really* executing the
+LP-assigned schedule on a multiprocessing worker pool must produce the
+exact bitstream the sequential reference encoder produces — same bits,
+same reconstruction, same mode decisions — for every worker count, while
+the measured timeline and the calibration loop carry real wall-clock
+signal instead of simulated times.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.codec.config import CodecConfig
+from repro.codec.encoder import ReferenceEncoder
+from repro.core.config import FrameworkConfig
+from repro.core.framework import FevesFramework
+from repro.exec.backend import ProcessBackend, split_band, worker_group_sizes
+from repro.exec.shm import SharedFrameStore, slot_specs
+from repro.hw.noise import FaultEvent, FaultSchedule
+from repro.hw.presets import get_platform
+from repro.video.generator import SyntheticSequence
+
+pytestmark = pytest.mark.timeout_guarded
+
+CFG = CodecConfig(width=128, height=96, search_range=8, num_ref_frames=2)
+N_FRAMES = 5
+
+
+@pytest.fixture(scope="module")
+def frames():
+    seq = SyntheticSequence(width=128, height=96, seed=13, noise_sigma=1.5)
+    return seq.frames(N_FRAMES)
+
+
+@pytest.fixture(scope="module")
+def reference(frames):
+    return ReferenceEncoder(CFG).encode_sequence(frames)
+
+
+def encode_process(frames, workers, platform="SysHK", cfg=CFG, **fw_kwargs):
+    fw = FevesFramework(
+        get_platform(platform),
+        cfg,
+        FrameworkConfig(
+            compute="real", backend="process", exec_workers=workers,
+            **fw_kwargs,
+        ),
+    )
+    with fw:
+        out = fw.encode(frames)
+        summary = fw.accuracy_report().summary()
+    return out, fw, summary
+
+
+def assert_identical(ref_out, fev_out):
+    assert len(ref_out) == len(fev_out)
+    for r, o in zip(ref_out, fev_out, strict=True):
+        e = o.encoded
+        assert e is not None
+        assert r.bits == e.bits, f"frame {r.index}: bits differ"
+        assert r.mode_histogram == e.mode_histogram
+        np.testing.assert_array_equal(r.recon.y, e.recon.y)
+        np.testing.assert_array_equal(r.recon.u, e.recon.u)
+        np.testing.assert_array_equal(r.recon.v, e.recon.v)
+
+
+# ---------------------------------------------------------------------------
+# band / group arithmetic
+
+
+class TestBandMath:
+    def test_split_band_partitions_exactly(self):
+        for band in [(0, 7), (3, 16), (5, 6), (0, 1)]:
+            for n in (1, 2, 3, 8):
+                chunks = split_band(band, n)
+                assert chunks[0][0] == band[0]
+                assert chunks[-1][1] == band[1]
+                for (a0, a1), (b0, _b1) in zip(
+                    chunks, chunks[1:], strict=False
+                ):
+                    assert a1 == b0
+                    assert a1 > a0
+                assert len(chunks) == min(n, band[1] - band[0])
+
+    def test_split_band_near_equal(self):
+        sizes = [b - a for a, b in split_band((0, 10), 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_band(self):
+        assert split_band((4, 4), 2) == []
+        assert split_band((5, 3), 2) == []
+
+    def test_worker_group_sizes_cover_all_devices(self):
+        # Every device gets >= 1 worker even when the pool is smaller.
+        assert worker_group_sizes(3, 1) == [1, 1, 1]
+        assert worker_group_sizes(2, 5) == [3, 2]
+        assert sum(worker_group_sizes(4, 11)) == 11
+        with pytest.raises(ValueError):
+            worker_group_sizes(0, 4)
+
+
+# ---------------------------------------------------------------------------
+# bit-exactness
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_reference_across_worker_counts(
+        self, frames, reference, workers
+    ):
+        out, _fw, _acc = encode_process(frames, workers)
+        assert_identical(reference, out)
+
+    @pytest.mark.parametrize("platform", ["SysNF", "SysNFF"])
+    def test_matches_reference_across_platforms(
+        self, frames, reference, platform
+    ):
+        # Different platforms → different LP row splits → different chunk
+        # sets; the stitched result must not care.
+        out, _fw, _acc = encode_process(frames, 2, platform=platform)
+        assert_identical(reference, out)
+
+    def test_matches_simulated_real_mode(self, frames):
+        # The sim backend in real mode is itself reference-exact; the two
+        # backends must agree with each other frame for frame.
+        sim_fw = FevesFramework(
+            get_platform("SysHK"), CFG, FrameworkConfig(compute="real")
+        )
+        sim_out = sim_fw.encode(frames)
+        out, _fw, _acc = encode_process(frames, 2)
+        for s, p in zip(sim_out, out, strict=True):
+            assert s.encoded.bits == p.encoded.bits
+            np.testing.assert_array_equal(s.encoded.recon.y, p.encoded.recon.y)
+
+    def test_gop_refresh_stays_identical(self):
+        seq = SyntheticSequence(width=128, height=96, seed=21, noise_sigma=1.0)
+        frames = seq.frames(7)
+        ref = ReferenceEncoder(CFG, gop_size=3).encode_sequence(frames)
+        out, _fw, _acc = encode_process(frames, 2, gop_size=3)
+        assert_identical(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# measured timelines + calibration loop
+
+
+class TestMeasurement:
+    def test_timeline_is_measured_and_ordered(self, frames):
+        out, _fw, _acc = encode_process(frames, 2)
+        rep = out[-1].report
+        assert rep.tau1 > 0
+        assert rep.tau1 <= rep.tau2 <= rep.tau_tot
+        recs = rep.timeline.records
+        assert recs, "measured timeline must carry op records"
+        by_cat = {}
+        for r in recs:
+            by_cat.setdefault(r.category, []).append(r)
+            assert 0.0 <= r.start <= r.end
+        labels = " ".join(r.label for r in by_cat["compute"])
+        for tag in ("ME[", "INT[", "SME[", "R*["):
+            assert tag in labels
+        # phase-1 work ends by the measured τ1 barrier, SME by τ2.
+        for r in by_cat["compute"]:
+            if r.label.startswith(("ME[", "INT[")):
+                assert r.end <= rep.tau1 + 1e-9
+            elif r.label.startswith("SME["):
+                assert r.end <= rep.tau2 + 1e-9
+
+    def test_calibration_feeds_characterization(self, frames):
+        _out, fw, _acc = encode_process(frames, 2, calibrate=True)
+        perf = fw.perf
+        # Every device that got ME rows last frame holds a *measured*
+        # (non-prior) per-row rate estimate.
+        dist = fw.reports[-1].decision
+        for i, dev in enumerate(fw.platform.devices):
+            if dist.m.rows[i] > 0:
+                assert perf.k_compute(dev.name, "me") is not None, dev.name
+                assert not perf.is_prior(dev.name, "me"), dev.name
+
+    def test_accuracy_report_covers_lp_frames(self, frames):
+        _out, fw, acc = encode_process(frames, 2)
+        lp_frames = sum(1 for rep in fw.reports if rep.decision.used_lp)
+        assert acc["frames"] == lp_frames > 0
+        assert acc["makespan_error_mean"] >= 0.0
+        assert acc["makespan_error_max"] >= acc["makespan_error_mean"]
+        assert set(acc["phase_error_mean"]) <= {"tau1", "tau2", "tau_tot"}
+
+    def test_uncalibrated_mode_feeds_model_rates(self, frames):
+        # calibrate=False must seed the characterization from the device
+        # model, so predictions are machine-independent.
+        _out, fw, acc = encode_process(frames, 2, calibrate=False)
+        fed = 0
+        for dev in fw.platform.devices:
+            k = fw.perf.k_compute(dev.name, "int")
+            if k is not None and not fw.perf.is_prior(dev.name, "int"):
+                # Constant model rate in → constant EWMA out, exactly.
+                assert k == pytest.approx(dev.spec.rates.int_row_s(CFG))
+                fed += 1
+        assert fed > 0
+        assert acc["frames"] > 0
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: shared memory + pool + config guards
+
+
+class TestLifecycle:
+    def test_store_slots_cover_schedule(self):
+        keys = {s.key for s in slot_specs(CFG)}
+        assert keys == {"cur", "ref0", "ref1", "sf0", "sf1"}
+
+    def test_store_unlinks_on_close(self):
+        store = SharedFrameStore(CFG)
+        names = [seg.name for seg in store._segments.values()]
+        assert names
+        store.close()
+        for n in names:
+            assert not glob.glob(f"/dev/shm/*{n.lstrip('/')}*"), n
+        store.close()  # idempotent
+
+    def test_view_after_close_raises(self):
+        store = SharedFrameStore(CFG)
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.view("cur")
+
+    def test_framework_close_is_idempotent(self, frames):
+        fw = FevesFramework(
+            get_platform("SysHK"), CFG,
+            FrameworkConfig(compute="real", backend="process", exec_workers=1),
+        )
+        fw.encode(frames[:2])
+        assert isinstance(fw.manager, ProcessBackend)
+        fw.close()
+        fw.close()
+
+    def test_backend_requires_real_compute(self):
+        with pytest.raises(ValueError, match="compute='real'"):
+            FrameworkConfig(backend="process")
+
+    def test_backend_rejects_faults(self):
+        faults = FaultSchedule([FaultEvent(frame=1, device="GPU_H", kind="dropout")])
+        with pytest.raises(ValueError, match="fault"):
+            FrameworkConfig(compute="real", backend="process", faults=faults)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FrameworkConfig(backend="gpu-cluster")
+
+    def test_run_frame_requires_context(self):
+        be = ProcessBackend(
+            get_platform("SysHK"), CFG,
+            FrameworkConfig(compute="real", backend="process", exec_workers=1),
+        )
+        with be, pytest.raises(ValueError, match="RealContext"):
+            be.run_frame(
+                frame_index=1, decision=None, rstar_device="GPU_H",
+                plan=None, active_refs=1, perf=None, ctx=None,
+            )
+
+
+# ---------------------------------------------------------------------------
+# service integration: a process-backed session really encodes
+
+
+class TestServiceIntegration:
+    def test_process_session_round_trip(self):
+        from repro.service import EncodingService, ServiceConfig, StreamSpec
+
+        service = EncodingService(ServiceConfig(
+            platform="SysHK", headroom=8.0,
+            backend="process", exec_workers=1,
+        ))
+        metrics = service.run([StreamSpec(
+            stream_id="s0", width=64, height=48, n_frames=2,
+            fps_target=1.0, search_range=4, num_ref_frames=1,
+        )])
+        assert metrics.streams[0].frames == 2
+        # Measured latencies are real wall milliseconds, not simulated.
+        assert metrics.streams[0].p50_ms > 0
+        for session in service.sessions:
+            assert session.framework.manager._pool is None  # closed
+
+    def test_service_config_rejects_faulted_process_backend(self):
+        from repro.service import ServiceConfig
+
+        faults = FaultSchedule([FaultEvent(frame=1, device="GPU_H", kind="dropout")])
+        with pytest.raises(ValueError, match="fault"):
+            ServiceConfig(platform="SysHK", backend="process", faults=faults)

@@ -17,6 +17,7 @@ HW_PATH = "src/repro/hw/fake_module.py"
 CORE_PATH = "src/repro/core/fake_module.py"
 SERVICE_PATH = "src/repro/service/fake_module.py"
 CALIB_PATH = "src/repro/hw/calibration.py"
+EXEC_PATH = "src/repro/exec/fake_module.py"
 OUTSIDE_PATH = "src/repro/util/fake_module.py"
 
 
@@ -258,6 +259,86 @@ class TestREP103Resources:
             return r
         """
         assert rules_hit(src, HW_PATH) == set()
+
+
+class TestREP103SharedMemory:
+    """Constructor-acquired OS resources: ``seg = SharedMemory(...)``.
+
+    The process execution backend creates shared-memory segments; a
+    segment never closed/unlinked leaks a /dev/shm file past process
+    exit, so REP103 tracks the constructor like an acquire and
+    ``close()``/``unlink()`` like releases, with ownership escapes
+    (return / re-assignment) transferring responsibility.
+    """
+
+    def test_segment_never_released_is_caught(self):
+        src = """
+        def make(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            fill(seg.buf)
+        """
+        found = [v for v in run(src, EXEC_PATH) if v.rule == "REP103"]
+        assert found
+        assert "'seg'" in found[0].message
+
+    def test_exception_between_create_and_close_is_caught(self):
+        # fill() may raise before the releases run.
+        src = """
+        def make(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            fill(seg.buf)
+            seg.close()
+            seg.unlink()
+        """
+        found = [v for v in run(src, EXEC_PATH) if v.rule == "REP103"]
+        assert found
+        assert "exception path" in found[0].message
+
+    def test_try_finally_close_unlink_is_clean(self):
+        src = """
+        def make(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            try:
+                return fill(seg.buf)
+            finally:
+                seg.close()
+                seg.unlink()
+        """
+        assert rules_hit(src, EXEC_PATH) == set()
+
+    def test_ownership_escape_via_assignment_is_clean(self):
+        # The SharedFrameStore pattern: the container now owns the
+        # segment; its close() is the audited release site.
+        src = """
+        def stage(self, spec):
+            seg = SharedMemory(create=True, size=spec.nbytes)
+            self._segments[spec.key] = seg
+        """
+        assert rules_hit(src, EXEC_PATH) == set()
+
+    def test_ownership_escape_via_return_is_clean(self):
+        src = """
+        def open_segment(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            return seg
+        """
+        assert rules_hit(src, EXEC_PATH) == set()
+
+    def test_close_of_other_segment_does_not_clear(self):
+        src = """
+        def swap(other, nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            other.close()
+            other.unlink()
+        """
+        found = [v for v in run(src, EXEC_PATH) if v.rule == "REP103"]
+        assert found
+
+    def test_exec_package_is_in_rep103_scope(self):
+        assert "REP103" in rules_for_path(EXEC_PATH)
+        # ... but wall-clock rules stay out of exec/ (REP001 is the
+        # per-line lint; REP101 units scope is hw/core only).
+        assert "REP101" not in rules_for_path(EXEC_PATH)
 
 
 class TestREP104Purity:
