@@ -241,6 +241,9 @@ def measure_parallel(
                 compute="real", backend="process", exec_workers=workers
             ),
         )
+        # The backend inherits $REPRO_SANITIZE; never journal shared-
+        # memory accesses on the timed path (it would skew the points).
+        fw.manager.sanitize = False
         with fw:
             t0 = time.perf_counter()
             outcomes = fw.encode(frames)

@@ -276,16 +276,23 @@ def _cmd_run_process(args: argparse.Namespace) -> int:
     serial = [ref.encode_frame(f) for f in frames]
     serial_s = time.perf_counter() - t0
 
-    fw = FevesFramework(
-        get_platform(args.platform),
-        cfg,
-        FrameworkConfig(
-            compute="real",
-            backend="process",
-            exec_workers=args.workers,
-            centric=args.centric,
-        ),
-    )
+    try:
+        fw = FevesFramework(
+            get_platform(args.platform),
+            cfg,
+            FrameworkConfig(
+                compute="real",
+                backend="process",
+                exec_workers=args.workers,
+                centric=args.centric,
+            ),
+        )
+    except ValueError as exc:
+        # e.g. a typo'd $REPRO_EXEC_START_METHOD / $REPRO_EXEC_TIMEOUT_S,
+        # validated eagerly at backend construction.
+        raise SystemExit(f"error: {exc}") from None
+    if args.sanitize:
+        fw.manager.sanitize = True
     with fw:
         t0 = time.perf_counter()
         outcomes = fw.encode(frames)
@@ -296,6 +303,16 @@ def _cmd_run_process(args: argparse.Namespace) -> int:
         o.encoded is not None and _encoded_equal(s, o.encoded)
         for s, o in zip(serial, outcomes)
     )
+    san_report = None
+    san_records = 0
+    if args.sanitize:
+        from repro.sanitizers import TimelineSanitizer
+        from repro.sanitizers.violations import SanitizerReport
+
+        san_report = SanitizerReport()
+        for f, entries in sorted(fw.manager.exec_journal.items()):
+            san_records += len(entries)
+            san_report.extend(TimelineSanitizer.check_exec(entries, frame=f))
     n = len(frames)
     workers = fw.manager.workers
     speedup = serial_s / process_s if process_s > 0 else float("inf")
@@ -313,6 +330,15 @@ def _cmd_run_process(args: argparse.Namespace) -> int:
     else:
         print("  LP makespan error: n/a (no LP-scheduled frames; "
               "encode more frames)")
+    if san_report is not None:
+        print(f"  shared-memory sanitizer: "
+              f"{'clean' if san_report.clean else san_report.summary()} "
+              f"({san_records} journal records, "
+              f"{len(fw.manager.exec_journal)} frames)")
+        if not san_report.clean:
+            for v in san_report.violations[:20]:
+                print(f"    {v}", file=sys.stderr)
+            return 1
     return 0 if identical else 1
 
 
@@ -586,13 +612,16 @@ def _cmd_profile_process(args: argparse.Namespace) -> int:
         width=cfg.width, height=cfg.height, seed=7
     ).frames(args.frames)
     profiler = PhaseProfiler()
-    fw = FevesFramework(
-        get_platform(args.platform), cfg,
-        FrameworkConfig(
-            compute="real", backend="process", exec_workers=args.workers
-        ),
-        profiler=profiler,
-    )
+    try:
+        fw = FevesFramework(
+            get_platform(args.platform), cfg,
+            FrameworkConfig(
+                compute="real", backend="process", exec_workers=args.workers
+            ),
+            profiler=profiler,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     with fw:
         fw.encode(frames)
         accuracy = fw.accuracy_report().summary()
@@ -816,8 +845,13 @@ def cmd_decode(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import time as _time
     from pathlib import Path
 
+    from repro.sanitizers.concurrency import (
+        CONCURRENCY_RULES,
+        analyze_paths as analyze_concurrency,
+    )
     from repro.sanitizers.dataflow import DATAFLOW_RULES, analyze_paths
     from repro.sanitizers.dataflow.baseline import (
         load_baseline,
@@ -838,15 +872,51 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if not t.exists():
             raise SystemExit(f"error: no such file or directory: {t}")
 
+    all_rules = {**LINT_RULES, **DATAFLOW_RULES, **CONCURRENCY_RULES}
+    only = None
+    if args.select:
+        prefixes = [
+            p.strip().upper() for p in args.select.split(",") if p.strip()
+        ]
+        only = sorted(
+            r for r in all_rules if any(r.startswith(p) for p in prefixes)
+        )
+        if not only:
+            raise SystemExit(
+                f"error: --select {args.select!r} matches no rule "
+                f"(known: {', '.join(sorted(all_rules))})"
+            )
+
+    def _selected(rules: dict) -> list[str] | None:
+        return None if only is None else [r for r in rules if r in only]
+
+    timings: dict[str, float] = {}
+
     # Exit codes: 0 clean, 1 unbaselined findings, 2 internal analyzer
     # error — so CI can tell "code has findings" from "the linter broke".
     try:
-        violations = lint_paths(targets)
+        t0 = _time.perf_counter()
+        line_only = _selected(LINT_RULES)
+        if line_only is None or line_only:
+            violations = lint_paths(targets)
+            if line_only is not None:
+                violations = [v for v in violations if v.rule in line_only]
+        else:
+            violations = []
+        timings["REP0xx"] = _time.perf_counter() - t0
         store = SummaryStore(
             Path(args.summary_cache) if args.summary_cache else None
         )
-        dataflow, errors = analyze_paths(targets, store=store)
+        dataflow, errors = analyze_paths(
+            targets, store=store, only=_selected(DATAFLOW_RULES),
+            timings=timings,
+        )
         violations.extend(dataflow)
+        concurrency, conc_errors = analyze_concurrency(
+            targets, only=_selected(CONCURRENCY_RULES), timings=timings,
+        )
+        violations.extend(concurrency)
+        errors = list(errors) + list(conc_errors)
     except Exception as exc:  # noqa: BLE001 - any crash is exit code 2
         print(f"internal analyzer error: {exc}", file=sys.stderr)
         return 2
@@ -855,6 +925,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"internal analyzer error: {err}", file=sys.stderr)
         return 2
     violations = sort_violations(violations)
+
+    if args.summary:
+        counts: dict[str, int] = {}
+        for v in violations:
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        print("rule      time        findings", file=sys.stderr)
+        for rule in sorted(timings):
+            n = (
+                sum(c for r, c in counts.items() if r.startswith("REP0"))
+                if rule == "REP0xx"
+                else counts.get(rule, 0)
+            )
+            print(
+                f"{rule:<8}  {timings[rule] * 1e3:>8.1f} ms  {n:>6}",
+                file=sys.stderr,
+            )
 
     if args.write_baseline:
         baseline_path = Path(args.baseline)
@@ -876,7 +962,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
             return 2
         violations, baselined = split_findings(violations, baseline)
 
-    all_rules = {**LINT_RULES, **DATAFLOW_RULES}
+    if only is not None:
+        all_rules = {r: d for r, d in all_rules.items() if r in only}
     if args.format == "json":
         print(format_json(violations))
     elif args.format == "sarif":
@@ -1071,7 +1158,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="repo-specific static checks (REP001-REP004, REP101-REP104)",
+        help="repo-specific static checks (REP001-004, REP101-104, "
+             "REP201-204)",
         description=(
             "AST lint with simulator-specific rules: REP001 no wall-clock "
             "reads in hw/ and core/ simulation paths; REP002 no exact "
@@ -1082,9 +1170,14 @@ def build_parser() -> argparse.ArgumentParser:
             "in rate/time/row/byte arithmetic; REP102 unordered set "
             "iteration leaking into event/candidate ordering; REP103 "
             "engine/slot acquired but not released on every path; REP104 "
-            "measurement paths mutating framework/device state. Suppress "
-            "per line with '# noqa: REPxxx'. Exit codes: 0 clean, 1 "
-            "unbaselined findings, 2 internal analyzer error."
+            "measurement paths mutating framework/device state. "
+            "Concurrency rules (interprocedural, process backend): REP201 "
+            "fork-unsafe primitive before/inside the pool initializer; "
+            "REP202 task payload carries shared bulk data instead of "
+            "scalar coordinates; REP203 shared-memory write escapes its "
+            "(row0, nrows) band; REP204 τ1/τ2 phase ordering broken. "
+            "Suppress per line with '# noqa: REPxxx'. Exit codes: 0 "
+            "clean, 1 unbaselined findings, 2 internal analyzer error."
         ),
     )
     lint.add_argument("paths", nargs="*", default=["src"],
@@ -1100,6 +1193,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--summary-cache", default=None,
                       help="JSON cache for inter-procedural unit summaries "
                            "(keyed on source hash; safe to cache in CI)")
+    lint.add_argument("--select", default=None, metavar="PREFIXES",
+                      help="comma-separated rule prefixes to run (e.g. "
+                           "'REP2' or 'REP103,REP2'); other rules are "
+                           "skipped entirely")
+    lint.add_argument("--summary", action="store_true",
+                      help="print a per-rule timing/finding table to stderr")
     lint.set_defaults(func=cmd_lint)
 
     tr = sub.add_parser("trace", help="export a chrome://tracing JSON")

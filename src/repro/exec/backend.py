@@ -43,16 +43,25 @@ from repro.core.data_access import TransferPlan
 from repro.core.load_balancing import LoadDecision
 from repro.core.perf_model import PerformanceCharacterization
 from repro.exec.accuracy import AccuracyReport, FrameAccuracy
-from repro.exec.pool import KernelPool
-from repro.exec.shm import SharedFrameStore
+from repro.exec.pool import (
+    TASK_TIMEOUT_ENV,
+    KernelPool,
+    resolve_start_method,
+    task_timeout_from_env,
+)
+from repro.exec.shm import (
+    PHASE_P2,
+    PHASE_STAGE,
+    AccessRecord,
+    SharedFrameStore,
+)
 from repro.hw.des import OpRecord
 from repro.hw.timeline import FrameTimeline
 from repro.hw.topology import Platform
 from repro.util.profiling import PhaseProfiler
 
-#: Environment override for the per-task deadlock failsafe (seconds).
-TASK_TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT_S"
-DEFAULT_TASK_TIMEOUT_S = 600.0
+#: Environment switch for the SAN-F shared-memory access journal.
+SANITIZE_ENV = "REPRO_SANITIZE"
 
 #: Representative payload for the one-time transfer priors (bytes).
 _PRIOR_TRANSFER_BYTES = 1 << 20
@@ -87,6 +96,11 @@ def worker_group_sizes(n_devices: int, n_workers: int) -> list[int]:
 _Chunk = tuple[str, str, int, int, float, float]
 
 
+def sanitize_from_env() -> bool:
+    """Is the SAN-F journal requested via ``$REPRO_SANITIZE``?"""
+    return os.environ.get(SANITIZE_ENV, "").lower() not in ("", "0", "off")
+
+
 class ProcessBackend:
     """Drop-in ``run_frame`` provider that executes frames in parallel.
 
@@ -102,6 +116,7 @@ class ProcessBackend:
         codec_cfg: CodecConfig,
         fw_cfg: FrameworkConfig,
         profiler: PhaseProfiler | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if fw_cfg.compute != "real":
             raise ValueError("the process backend requires compute='real'")
@@ -111,9 +126,14 @@ class ProcessBackend:
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self.workers = fw_cfg.exec_workers or os.cpu_count() or 1
         self.accuracy = AccuracyReport()
-        self.task_timeout_s = float(
-            os.environ.get(TASK_TIMEOUT_ENV, DEFAULT_TASK_TIMEOUT_S)
-        )
+        # Validate both env knobs here, at construction: a typo'd
+        # $REPRO_EXEC_START_METHOD / $REPRO_EXEC_TIMEOUT_S must fail
+        # with a named token before any frame (or fork) happens.
+        self.start_method = resolve_start_method()
+        self.task_timeout_s = task_timeout_from_env()
+        self.sanitize = sanitize_from_env() if sanitize is None else sanitize
+        #: SAN-F: per-frame shared-memory access journal (host + workers).
+        self.exec_journal: dict[int, list[AccessRecord]] = {}
         self._store: SharedFrameStore | None = None
         self._pool: KernelPool | None = None
         self._priors_seeded = False
@@ -123,9 +143,13 @@ class ProcessBackend:
     def _ensure_started(self) -> tuple[SharedFrameStore, KernelPool]:
         if self._store is None or self._pool is None:
             with self.profiler.phase("exec_start"):
-                store = SharedFrameStore(self.codec_cfg)
+                store = SharedFrameStore(self.codec_cfg, sanitize=self.sanitize)
                 try:
-                    pool = KernelPool(self.workers, store.layout(), self.codec_cfg)
+                    pool = KernelPool(
+                        self.workers, store.layout(), self.codec_cfg,
+                        start_method=self.start_method,
+                        sanitize=self.sanitize,
+                    )
                 except BaseException:
                     store.close()
                     raise
@@ -172,10 +196,10 @@ class ProcessBackend:
                 )
 
     def _collect(
-        self, futs: list["Future[tuple[Any, float, float]]"]
-    ) -> list[tuple[Any, float, float]]:
+        self, futs: list["Future[tuple[Any, float, float, list[AccessRecord]]]"]
+    ) -> list[tuple[Any, float, float, list[AccessRecord]]]:
         """Gather task results, failing fast on a stalled pool."""
-        out: list[tuple[Any, float, float]] = []
+        out: list[tuple[Any, float, float, list[AccessRecord]]] = []
         for fut in futs:
             try:
                 out.append(fut.result(timeout=self.task_timeout_s))
@@ -238,18 +262,26 @@ class ProcessBackend:
             sr = cfg.search_range
             n_refs = min(len(ctx.refs_y), cfg.num_ref_frames)
             store.view("cur")[:] = ctx.cur.y
+            store.record_full("cur", "w", "host.stage", PHASE_STAGE)
             for k in range(n_refs):
                 store.view(f"ref{k}")[:] = pad_plane(ctx.refs_y[k], sr)
+                store.record_full(f"ref{k}", "w", "host.stage", PHASE_STAGE)
             for k, sf_prev in enumerate(ctx.sfs_prev):
                 store.view(f"sf{k + 1}")[:] = sf_prev
+                store.record_full(f"sf{k + 1}", "w", "host.stage", PHASE_STAGE)
 
         chunks: list[_Chunk] = []
+        journal: list[AccessRecord] = []
 
         # ---- phase 1: ME + INT, barriered at τ1 ----------------------------
         with self.profiler.phase("exec_phase1"):
-            int_futs: list[Future[tuple[None, float, float]]] = []
+            int_futs: list[
+                Future[tuple[None, float, float, list[AccessRecord]]]
+            ] = []
             int_meta: list[tuple[str, int, int]] = []
-            me_futs: list[Future[tuple[MotionField, float, float]]] = []
+            me_futs: list[
+                Future[tuple[MotionField, float, float, list[AccessRecord]]]
+            ] = []
             me_meta: list[tuple[str, int, int]] = []
             for i in live_idx:
                 name = devices[i].name
@@ -262,25 +294,32 @@ class ProcessBackend:
             int_results = self._collect(list(int_futs))
             me_results = self._collect(list(me_futs))
             tau1 = time.perf_counter() - t_frame0
-            for (name, row0, nrows), (_none, t0, t1) in zip(
+            for (name, row0, nrows), (_none, t0, t1, jr) in zip(
                 int_meta, int_results, strict=True
             ):
                 chunks.append(("int", name, row0, nrows, t0, t1))
-            for (name, row0, nrows), (_mf, t0, t1) in zip(
+                journal.extend(jr)
+            for (name, row0, nrows), (_mf, t0, t1, jr) in zip(
                 me_meta, me_results, strict=True
             ):
                 chunks.append(("me", name, row0, nrows, t0, t1))
+                journal.extend(jr)
 
         # ---- τ1 barrier: stitch ME bands, copy the new SF out ------------
         with self.profiler.phase("exec_tau1"):
-            ctx.me_field = MotionField.merge([mf for mf, _t0, _t1 in me_results])
+            ctx.me_field = MotionField.merge(
+                [mf for mf, _t0, _t1, _j in me_results]
+            )
             ctx.sf_new = np.array(store.view("sf0"), copy=True)
+            store.record_full("sf0", "r", "host.tau1", PHASE_P2)
             ctx.sfs = [ctx.sf_new] + ctx.sfs_prev
 
         # ---- phase 2: SME, barriered at τ2 --------------------------------
         with self.profiler.phase("exec_phase2"):
             n_sfs = 1 + len(ctx.sfs_prev)
-            sme_futs: list[Future[tuple[SubpelField, float, float]]] = []
+            sme_futs: list[
+                Future[tuple[SubpelField, float, float, list[AccessRecord]]]
+            ] = []
             sme_meta: list[tuple[str, int, int]] = []
             for i in live_idx:
                 name = devices[i].name
@@ -294,13 +333,16 @@ class ProcessBackend:
                     sme_meta.append((name, row0, stop - row0))
             sme_results = self._collect(list(sme_futs))
             tau2 = time.perf_counter() - t_frame0
-            for (name, row0, nrows), (_sf, t0, t1) in zip(
+            for (name, row0, nrows), (_sf, t0, t1, jr) in zip(
                 sme_meta, sme_results, strict=True
             ):
                 chunks.append(("sme", name, row0, nrows, t0, t1))
+                journal.extend(jr)
 
         with self.profiler.phase("exec_tau2"):
-            ctx.sme_field = SubpelField.merge([sf for sf, _t0, _t1 in sme_results])
+            ctx.sme_field = SubpelField.merge(
+                [sf for sf, _t0, _t1, _j in sme_results]
+            )
 
         # ---- R* block on the host, attributed to the R* device ------------
         with self.profiler.phase("exec_rstar"):
@@ -308,6 +350,9 @@ class ProcessBackend:
             execute_rstar(ctx)
             rstar_s = time.perf_counter() - t_rstar0
         tau_tot = time.perf_counter() - t_frame0
+
+        if self.sanitize:
+            self.exec_journal[frame_index] = store.drain_journal() + journal
 
         timeline = self._build_timeline(
             frame_index, chunks, rstar_device,

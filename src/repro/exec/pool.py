@@ -11,10 +11,17 @@ Each task also returns its own ``time.perf_counter()`` start/end pair.
 On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is machine-wide,
 so worker timestamps are directly comparable with the host's frame-start
 anchor; the backend clamps defensively on platforms where they are not.
+
+Under sanitization (SAN-F) every task additionally returns its
+shared-memory :class:`~repro.exec.shm.AccessRecord` entries — built from
+the *same* bounds the actual reads/writes use, so the journal cannot
+drift from the access it describes — and the backend hands the merged
+per-frame journal to ``TimelineSanitizer.check_exec``.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
@@ -27,10 +34,20 @@ from repro.codec.config import MB_SIZE, CodecConfig
 from repro.codec.interpolation import interpolate_rows
 from repro.codec.me import MotionField, motion_estimate_rows
 from repro.codec.sme import SubpelField, subpel_refine_rows
-from repro.exec.shm import SLOT_DTYPE, Layout
+from repro.exec.shm import (
+    PHASE_P1,
+    PHASE_P2,
+    SLOT_DTYPE,
+    AccessRecord,
+    Layout,
+)
 
 #: Environment override for the pool start method ("fork"/"spawn"/...).
 START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
+
+#: Environment override for the per-task deadlock failsafe (seconds).
+TASK_TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT_S"
+DEFAULT_TASK_TIMEOUT_S = 600.0
 
 # Per-worker attachment state, populated once by _attach_worker(). The
 # SharedMemory objects are kept alive so the numpy views stay valid for
@@ -38,12 +55,16 @@ START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
 _VIEWS: dict[str, np.ndarray] = {}
 _SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 _CFG: CodecConfig | None = None
+_SANITIZE: bool = False
 
 
-def _attach_worker(layout: Layout, cfg: CodecConfig) -> None:
+def _attach_worker(
+    layout: Layout, cfg: CodecConfig, sanitize: bool = False
+) -> None:
     """Pool initializer: map every shared slot into this worker."""
-    global _CFG
+    global _CFG, _SANITIZE
     _CFG = cfg
+    _SANITIZE = sanitize
     for key, (name, shape) in layout.items():
         seg = shared_memory.SharedMemory(name=name)
         _SEGMENTS[key] = seg
@@ -66,9 +87,21 @@ def _rf_view() -> np.ndarray:
     return pad[sr:-sr, sr:-sr]
 
 
+def _journal(
+    task: str, phase: int, accesses: list[tuple[str, int, int, str]]
+) -> list[AccessRecord]:
+    """Worker-side journal entries (empty unless sanitizing)."""
+    if not _SANITIZE:
+        return []
+    return [
+        AccessRecord(segment, row0, row1, kind, task, phase)
+        for segment, row0, row1, kind in accesses
+    ]
+
+
 def me_task(
     row0: int, nrows: int, n_refs: int
-) -> tuple[MotionField, float, float]:
+) -> tuple[MotionField, float, float, list[AccessRecord]]:
     """Full-search ME over one chunk of MB rows (prepadded refs)."""
     cfg = _cfg()
     t0 = time.perf_counter()
@@ -76,10 +109,18 @@ def me_task(
     out = motion_estimate_rows(
         _VIEWS["cur"], refs, row0, nrows, cfg, refs_prepadded=True
     )
-    return out, t0, time.perf_counter()
+    entries = _journal(
+        f"me rows {row0}+{nrows}", PHASE_P1,
+        [("cur", MB_SIZE * row0, MB_SIZE * (row0 + nrows), "r")]
+        + [(f"ref{k}", 0, _VIEWS[f"ref{k}"].shape[0], "r")
+           for k in range(n_refs)],
+    )
+    return out, t0, time.perf_counter(), entries
 
 
-def int_task(row0: int, nrows: int) -> tuple[None, float, float]:
+def int_task(
+    row0: int, nrows: int
+) -> tuple[None, float, float, list[AccessRecord]]:
     """Interpolate one SF band and write it into ``sf0`` in place.
 
     Bands are disjoint by construction (they partition the frame's MB
@@ -91,28 +132,79 @@ def int_task(row0: int, nrows: int) -> tuple[None, float, float]:
     t0 = time.perf_counter()
     band = interpolate_rows(_rf_view(), row0, nrows)
     px = 4 * MB_SIZE
-    _VIEWS["sf0"][px * row0 : px * (row0 + nrows), :] = band
-    return None, t0, time.perf_counter()
+    lo = px * row0
+    hi = px * (row0 + nrows)
+    _VIEWS["sf0"][lo:hi, :] = band
+    entries = _journal(
+        f"int rows {row0}+{nrows}", PHASE_P1,
+        [("ref0", 0, _VIEWS["ref0"].shape[0], "r"), ("sf0", lo, hi, "w")],
+    )
+    return None, t0, time.perf_counter(), entries
 
 
 def sme_task(
     row0: int, nrows: int, n_sfs: int, me_band: MotionField
-) -> tuple[SubpelField, float, float]:
+) -> tuple[SubpelField, float, float, list[AccessRecord]]:
     """Quarter-pel refinement over one chunk (reads the stitched SFs)."""
     cfg = _cfg()
     t0 = time.perf_counter()
     sfs = [_VIEWS[f"sf{k}"] for k in range(n_sfs)]
     out = subpel_refine_rows(_VIEWS["cur"], sfs, me_band, row0, nrows, cfg)
-    return out, t0, time.perf_counter()
+    entries = _journal(
+        f"sme rows {row0}+{nrows}", PHASE_P2,
+        [("cur", MB_SIZE * row0, MB_SIZE * (row0 + nrows), "r")]
+        + [(f"sf{k}", 0, _VIEWS[f"sf{k}"].shape[0], "r")
+           for k in range(n_sfs)],
+    )
+    return out, t0, time.perf_counter(), entries
+
+
+def resolve_start_method(requested: str | None = None) -> str:
+    """The validated start method: explicit arg > env > platform default.
+
+    Raises eagerly (naming the offending token and ``$REPRO_EXEC_START_-
+    METHOD``) instead of letting ``multiprocessing.get_context`` surface
+    a bare ``ValueError`` from deep inside pool construction.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    chosen = requested or os.environ.get(START_METHOD_ENV) or None
+    if chosen is None:
+        return "fork" if "fork" in methods else methods[0]
+    if chosen not in methods:
+        source = (
+            "start_method" if requested
+            else f"${START_METHOD_ENV}"
+        )
+        raise ValueError(
+            f"invalid {source}={chosen!r}: this platform supports "
+            f"{', '.join(sorted(methods))}"
+        )
+    return chosen
 
 
 def default_start_method() -> str:
     """``fork`` where available (cheap, inherits nothing we rely on)."""
-    env = os.environ.get(START_METHOD_ENV)
-    if env:
-        return env
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else methods[0]
+    return resolve_start_method()
+
+
+def task_timeout_from_env() -> float:
+    """The validated per-task timeout in seconds (positive finite float)."""
+    raw = os.environ.get(TASK_TIMEOUT_ENV)
+    if raw is None or raw == "":
+        return DEFAULT_TASK_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid ${TASK_TIMEOUT_ENV}={raw!r}: expected a positive "
+            "number of seconds"
+        ) from None
+    if not value > 0 or not math.isfinite(value):
+        raise ValueError(
+            f"invalid ${TASK_TIMEOUT_ENV}={raw!r}: expected a positive "
+            "finite number of seconds"
+        )
+    return value
 
 
 class KernelPool:
@@ -123,6 +215,11 @@ class KernelPool:
     shutdown explicit (``close()``): the pool lives for a whole encode,
     not per frame, so worker start-up and segment attachment are paid
     once.
+
+    Both environment knobs (``$REPRO_EXEC_START_METHOD``,
+    ``$REPRO_EXEC_TIMEOUT_S``) are validated here, at construction, so a
+    typo fails with a named token instead of a deep pool/runtime error
+    frames later.
     """
 
     def __init__(
@@ -131,16 +228,19 @@ class KernelPool:
         layout: Layout,
         cfg: CodecConfig,
         start_method: str | None = None,
+        sanitize: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = workers
-        ctx = multiprocessing.get_context(start_method or default_start_method())
+        self.start_method = resolve_start_method(start_method)
+        self.task_timeout_s = task_timeout_from_env()
+        ctx = multiprocessing.get_context(self.start_method)
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=ctx,
             initializer=_attach_worker,
-            initargs=(layout, cfg),
+            initargs=(layout, cfg, sanitize),
         )
 
     def _executor(self) -> ProcessPoolExecutor:
@@ -150,17 +250,17 @@ class KernelPool:
 
     def submit_me(
         self, row0: int, nrows: int, n_refs: int
-    ) -> "Future[tuple[MotionField, float, float]]":
+    ) -> "Future[tuple[MotionField, float, float, list[AccessRecord]]]":
         return self._executor().submit(me_task, row0, nrows, n_refs)
 
     def submit_int(
         self, row0: int, nrows: int
-    ) -> "Future[tuple[None, float, float]]":
+    ) -> "Future[tuple[None, float, float, list[AccessRecord]]]":
         return self._executor().submit(int_task, row0, nrows)
 
     def submit_sme(
         self, row0: int, nrows: int, n_sfs: int, me_band: MotionField
-    ) -> "Future[tuple[SubpelField, float, float]]":
+    ) -> "Future[tuple[SubpelField, float, float, list[AccessRecord]]]":
         return self._executor().submit(sme_task, row0, nrows, n_sfs, me_band)
 
     def close(self) -> None:

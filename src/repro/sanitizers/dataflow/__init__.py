@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from pathlib import Path
 
 from repro.sanitizers.dataflow.cfg import build_cfg, build_module_cfg
@@ -93,14 +94,20 @@ def analyze_source(
     *,
     summaries: dict[str, str] | None = None,
     select: list[str] | None = None,
+    only: list[str] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> tuple[list[LintViolation], list[AnalyzerError]]:
     """Run the scoped (or selected) dataflow rules over one module.
 
     Returns ``(violations, internal_errors)``; a rule crashing on one
     function is recorded as an :class:`AnalyzerError` and the remaining
-    functions/rules still run.
+    functions/rules still run. ``select`` *forces* rules regardless of
+    scope; ``only`` *restricts* the scoped set (the CLI's ``--select``).
+    With ``timings``, per-rule wall time is accumulated into the dict.
     """
     rules = select if select is not None else rules_for_path(display)
+    if only is not None:
+        rules = [r for r in rules if r in only]
     if not rules:
         return [], []
     if summaries is None:
@@ -135,6 +142,7 @@ def analyze_source(
     violations: list[LintViolation] = []
     errors: list[AnalyzerError] = []
     for rule in rules:
+        t0 = time.perf_counter()
         analysis = _make_analysis(rule)
         emitter = Emitter(rule=rule, display=display)
         for ctx, node in units:
@@ -147,6 +155,8 @@ def analyze_source(
                 run_analysis(cfg, analysis, ctx, emitter)
             except AnalyzerError as exc:
                 errors.append(exc)
+        if timings is not None:
+            timings[rule] = timings.get(rule, 0.0) + time.perf_counter() - t0
         for v in emitter.findings:
             codes = noqa.get(v.line, frozenset())
             if codes is None or v.rule in codes:
@@ -174,6 +184,8 @@ def analyze_paths(
     *,
     store: SummaryStore | None = None,
     select: list[str] | None = None,
+    only: list[str] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> tuple[list[LintViolation], list[AnalyzerError]]:
     """Two-pass dataflow lint over files/directories.
 
@@ -197,7 +209,8 @@ def analyze_paths(
     errors: list[AnalyzerError] = []
     for path, source in files:
         v, e = analyze_source(
-            source, str(path), summaries=merged, select=select
+            source, str(path), summaries=merged, select=select,
+            only=only, timings=timings,
         )
         violations.extend(v)
         errors.extend(e)

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 #: Dynamic (schedule) rule identifiers, by violation class of the design
 #: doc: A = engine races, B = dependency/τ races, C = conservation,
-#: D = service invariants, E = cluster invariants.
+#: D = service invariants, E = cluster invariants, F = shared-memory
+#: access discipline on the real process backend.
 SCHED_RULES: dict[str, str] = {
     "SAN-A1": "two ops overlap on one serially-executing engine",
     "SAN-A2": "concurrent copies exceed the device's copy-engine count",
@@ -28,6 +29,8 @@ SCHED_RULES: dict[str, str] = {
     "SAN-E1": "stream owned by more than one node at a time",
     "SAN-E2": "segment placed on a node outside its live window",
     "SAN-E3": "frames lost or duplicated across a cluster reroute",
+    "SAN-F1": "concurrent shared-memory writes overlap (row bands collide)",
+    "SAN-F2": "shared-memory read not ordered after the writes it depends on",
 }
 
 

@@ -20,8 +20,11 @@ def _schedule_sanitizer(monkeypatch):
     :meth:`VideoCodingManager.run_frame` call anywhere in the suite gets
     its report checked against the schedule invariants (engine races, τ
     windows, conservation, faulted-device idleness) and fails the test on
-    the first violation. Unset, this fixture is a no-op, so the plain
-    tier-1 run is unaffected.
+    the first violation. Process-backend frames get the SAN-F treatment
+    instead: the backend journals every shared-memory access (the env
+    var switches the journal on) and the frame's journal is checked for
+    overlapping concurrent writes and barrier-ordered reads. Unset, this
+    fixture is a no-op, so the plain tier-1 run is unaffected.
     """
     mode = os.environ.get("REPRO_SANITIZE", "").lower()
     if mode in ("", "0", "off"):
@@ -29,6 +32,7 @@ def _schedule_sanitizer(monkeypatch):
         return
 
     from repro.core.coding_manager import VideoCodingManager
+    from repro.exec.backend import ProcessBackend
     from repro.sanitizers import TimelineSanitizer
 
     original = VideoCodingManager.run_frame
@@ -42,6 +46,19 @@ def _schedule_sanitizer(monkeypatch):
         return report
 
     monkeypatch.setattr(VideoCodingManager, "run_frame", sanitized)
+
+    exec_original = ProcessBackend.run_frame
+
+    def exec_sanitized(self, *args, **kwargs):
+        report = exec_original(self, *args, **kwargs)
+        entries = self.exec_journal.get(report.frame_index, [])
+        if entries:
+            TimelineSanitizer.check_exec(
+                entries, frame=report.frame_index
+            ).raise_if_dirty()
+        return report
+
+    monkeypatch.setattr(ProcessBackend, "run_frame", exec_sanitized)
     yield
 
 

@@ -310,3 +310,39 @@ def test_process_backend_output_identical_across_seeds_and_workers():
         "process-backend encoded output differs across PYTHONHASHSEED "
         f"or worker count: {digests}"
     )
+
+
+# The static analyzers are part of the determinism contract too: the
+# concurrency layer walks call graphs, taint sets and interval
+# environments that are all name-keyed, so a stray set/dict iteration
+# would reorder (or flip) findings with the hash seed. Lint JSON over
+# the real exec/ sources must be byte-identical across seeds.
+REPO_ROOT = str(Path(__file__).resolve().parents[2])
+
+
+def _run_lint(hash_seed: str) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "lint",
+            "--select", "REP2", "--format", "json", "--no-baseline",
+            "src/repro/exec",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return out.returncode, out.stdout
+
+
+def test_lint_output_identical_across_hash_seeds():
+    results = {_run_lint(seed) for seed in ("0", "1", "4242")}
+    assert len(results) == 1, (
+        f"REP2xx lint output varies with PYTHONHASHSEED: {results}"
+    )
+    ((rc, stdout),) = results
+    assert rc == 0, f"exec/ sources must lint clean, got:\n{stdout}"
+    assert json.loads(stdout) == []

@@ -1,0 +1,352 @@
+"""Layer-4 concurrency lint: seeded mutants vs clean twins per rule.
+
+Every rule ships as a pair: a minimal mutant that must be caught and a
+clean twin (the same shape, correctly synchronized) that must pass.
+Snippets are analyzed under an ``exec/``-scoped display path so the
+rules actually run; the clean gate at the bottom proves the real
+``src/repro/exec`` code passes everything with an empty baseline.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.sanitizers.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_paths,
+    analyze_source,
+    rules_for_path,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+EXEC_PATH = "src/repro/exec/fake_module.py"
+
+
+def run(source: str, *, only=None, path: str = EXEC_PATH):
+    violations, errors = analyze_source(
+        textwrap.dedent(source), path, only=only
+    )
+    assert not errors, errors
+    return violations
+
+
+def rules_hit(source: str, **kw) -> list[str]:
+    return [v.rule for v in run(source, **kw)]
+
+
+# ---------------------------------------------------------------------------
+# REP201 — fork safety
+
+
+class TestForkSafety:
+    def test_module_level_lock_is_flagged(self):
+        assert "REP201" in rules_hit(
+            """\
+            import threading
+
+            _LOCK = threading.Lock()
+            """
+        )
+
+    def test_initializer_reachable_thread_is_flagged(self):
+        # The Thread lives two calls away from the initializer; only the
+        # interprocedural call graph can see it.
+        assert "REP201" in rules_hit(
+            """\
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _helper():
+                t = threading.Thread(target=print)
+                t.start()
+
+            def _attach_worker(layout):
+                _helper()
+
+            def build_pool():
+                return ProcessPoolExecutor(
+                    max_workers=2, initializer=_attach_worker
+                )
+            """
+        )
+
+    def test_lock_in_unreachable_helper_is_clean(self):
+        assert not rules_hit(
+            """\
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _attach_worker(layout):
+                pass
+
+            def unrelated_host_side():
+                lock = threading.Lock()
+                with lock:
+                    pass
+
+            def build_pool():
+                return ProcessPoolExecutor(
+                    max_workers=2, initializer=_attach_worker
+                )
+            """,
+            only=["REP201"],
+        )
+
+    def test_lock_created_before_fork_is_flagged(self):
+        assert "REP201" in rules_hit(
+            """\
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _attach_worker(layout):
+                pass
+
+            def build_pool():
+                lock = threading.Lock()
+                return ProcessPoolExecutor(
+                    max_workers=2, initializer=_attach_worker
+                )
+            """
+        )
+
+    def test_lock_created_after_pool_is_clean(self):
+        assert not rules_hit(
+            """\
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _attach_worker(layout):
+                pass
+
+            def build_pool():
+                pool = ProcessPoolExecutor(
+                    max_workers=2, initializer=_attach_worker
+                )
+                lock = threading.Lock()
+                return pool
+            """,
+            only=["REP201"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# REP202 — cross-process payload hygiene
+
+
+class TestPayloadHygiene:
+    MUTANT = """\
+        import numpy as np
+
+        def submit_all(pool, store, row0, nrows):
+            frame = store.view("cur")
+            buf = np.zeros((4, 4))
+            pool.submit(work, frame)
+            pool.submit(work, buf)
+            pool.submit(lambda: frame.sum())
+    """
+
+    def test_bulk_payloads_are_flagged(self):
+        hits = run(self.MUTANT, only=["REP202"])
+        assert [v.rule for v in hits] == ["REP202"] * 3
+        assert [v.line for v in hits] == [6, 7, 8]
+
+    def test_scalar_coordinates_are_clean(self):
+        assert not rules_hit(
+            """\
+            def submit_all(pool, row0, nrows):
+                return pool.submit(work, row0, nrows)
+            """,
+            only=["REP202"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# REP203 — shared-write band confinement
+
+
+class TestBandConfinement:
+    def test_write_past_the_band_is_flagged(self):
+        assert "REP203" in rules_hit(
+            """\
+            def int_task(row0, nrows):
+                px = 64
+                lo = px * row0
+                hi = px * (row0 + nrows) + px
+                _VIEWS["sf0"][lo:hi, :] = 1
+            """
+        )
+
+    def test_whole_plane_write_is_flagged(self):
+        assert "REP203" in rules_hit(
+            """\
+            def int_task(row0, nrows):
+                _VIEWS["sf0"][:, :] = 0
+            """
+        )
+
+    def test_confined_band_write_is_clean(self):
+        assert not rules_hit(
+            """\
+            def int_task(row0, nrows):
+                px = 64
+                band = _VIEWS["sf0"]
+                lo = px * row0
+                hi = px * (row0 + nrows)
+                band[lo:hi, :] = 1
+            """,
+            only=["REP203"],
+        )
+
+    def test_host_write_after_submit_is_flagged(self):
+        assert "REP203" in rules_hit(
+            """\
+            def run_frame(pool, store):
+                futs = [pool.submit(task, 0, 4)]
+                store.view("cur")[:, :] = 0
+                for f in futs:
+                    f.result()
+            """,
+            only=["REP203"],
+        )
+
+    def test_host_write_before_submit_is_clean(self):
+        assert not rules_hit(
+            """\
+            def run_frame(pool, store):
+                store.view("cur")[:, :] = 0
+                futs = [pool.submit(task, 0, 4)]
+                for f in futs:
+                    f.result()
+            """,
+            only=["REP203"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# REP204 — barrier-ordered phases
+
+
+class TestPhaseOrdering:
+    def test_sme_submitted_before_tau1_is_flagged(self):
+        assert "REP204" in rules_hit(
+            """\
+            def run_frame(pool):
+                futs = [pool.submit_me(0, 4)]
+                pool.submit_sme(0, 4)
+                for f in futs:
+                    f.result()
+            """,
+            only=["REP204"],
+        )
+
+    def test_staging_after_phase1_submit_is_flagged(self):
+        assert "REP204" in rules_hit(
+            """\
+            def run_frame(pool, store):
+                futs = [pool.submit_int(0, 4)]
+                store.view("cur")[:, :] = 0
+                for f in futs:
+                    f.result()
+            """,
+            only=["REP204"],
+        )
+
+    def test_sf_read_before_barrier_is_flagged(self):
+        assert "REP204" in rules_hit(
+            """\
+            def run_frame(pool, store):
+                futs = [pool.submit_int(0, 4)]
+                sf = store.view("sf0")
+                for f in futs:
+                    f.result()
+                return sf
+            """,
+            only=["REP204"],
+        )
+
+    def test_correctly_ordered_frame_is_clean(self):
+        assert not rules_hit(
+            """\
+            def run_frame(pool, store):
+                store.view("cur")[:, :] = 0
+                futs = [pool.submit_int(0, 4)]
+                for f in futs:
+                    f.result()
+                sf = store.view("sf0")
+                pool.submit_sme(0, 4)
+                return sf
+            """,
+            only=["REP204"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared machinery: scoping, noqa, cross-module graph, clean gate
+
+
+class TestMachinery:
+    def test_scoping(self):
+        assert rules_for_path("src/repro/exec/pool.py") == [
+            "REP201", "REP202", "REP203", "REP204",
+        ]
+        assert rules_for_path("src/repro/hw/devices.py") == ["REP201"]
+        assert rules_for_path("src/repro/core/scheduler.py") == []
+
+    def test_noqa_suppresses(self):
+        src = """\
+            def int_task(row0, nrows):
+                _VIEWS["sf0"][:, :] = 0  # noqa: REP203
+            """
+        assert not rules_hit(src, only=["REP203"])
+
+    def test_cross_module_call_graph(self, tmp_path):
+        # The initializer lives in a.py, the hazard it reaches in b.py:
+        # only the graph spanning both modules connects them.
+        pkg = tmp_path / "src" / "repro" / "exec"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(textwrap.dedent(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+            from b import shared_helper
+
+            def _attach_worker(layout):
+                shared_helper()
+
+            def build_pool():
+                return ProcessPoolExecutor(
+                    max_workers=2, initializer=_attach_worker
+                )
+            """
+        ))
+        (pkg / "b.py").write_text(textwrap.dedent(
+            """\
+            import threading
+
+            def shared_helper():
+                t = threading.Thread(target=print)
+                t.start()
+            """
+        ))
+        violations, errors = analyze_paths([tmp_path])
+        assert not errors
+        assert any(
+            v.rule == "REP201" and v.path.endswith("b.py")
+            for v in violations
+        )
+
+    def test_crash_free_over_the_repo(self):
+        # Every rule must run to completion on every module we ship —
+        # forced out of scope so e.g. hw/ code meets the exec/ rules.
+        select = sorted(CONCURRENCY_RULES)
+        for root in (REPO / "src", REPO / "tests"):
+            for path in sorted(root.rglob("*.py")):
+                _, errors = analyze_source(
+                    path.read_text(), str(path), select=select
+                )
+                assert not errors, (path, errors)
+
+    def test_src_tree_is_clean(self):
+        violations, errors = analyze_paths([REPO / "src"])
+        assert not errors, errors
+        assert not violations, [str(v) for v in violations]

@@ -22,6 +22,12 @@ CLEAN = (
     "    return [key for key in sorted(pending)]\n"
 )
 
+# Whole-plane write from a band task: the minimal REP203 mutant.
+EXEC_BUGGY = (
+    "def int_task(row0, nrows):\n"
+    '    _VIEWS["sf0"][:, :] = 0\n'
+)
+
 
 @pytest.fixture
 def tree(tmp_path: Path) -> Path:
@@ -74,7 +80,10 @@ class TestFormats:
         run = log["runs"][0]
         assert run["tool"]["driver"]["name"] == "repro-lint"
         rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
-        assert {"REP001", "REP101", "REP102", "REP103", "REP104"} <= rule_ids
+        assert {
+            "REP001", "REP101", "REP102", "REP103", "REP104",
+            "REP201", "REP202", "REP203", "REP204",
+        } <= rule_ids
         result = run["results"][0]
         assert result["ruleId"] == "REP102"
         loc = result["locations"][0]["physicalLocation"]
@@ -105,6 +114,66 @@ class TestBaselineWorkflow:
     def test_missing_baseline_file_is_empty_baseline(self, tree):
         assert not (tree / "baseline.json").exists()
         assert lint(tree) == 1
+
+
+class TestSelectAndSummary:
+    @pytest.fixture
+    def exec_tree(self, tree: Path) -> Path:
+        mod = tree / "src" / "repro" / "exec" / "task.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(EXEC_BUGGY)
+        return tree
+
+    def test_concurrency_rules_run_by_default(self, exec_tree, capsys):
+        assert lint(exec_tree, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {v["rule"] for v in payload} == {"REP102", "REP203"}
+
+    def test_select_scopes_to_prefix(self, exec_tree, capsys):
+        # --select REP2 runs only the concurrency layer: the REP102 bug
+        # in hw/sched.py must not be reported (or even analyzed).
+        assert lint(exec_tree, "--select", "REP2", "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {v["rule"] for v in payload} == {"REP203"}
+
+    def test_select_single_rule(self, exec_tree, capsys):
+        assert lint(exec_tree, "--select", "REP102", "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {v["rule"] for v in payload} == {"REP102"}
+
+    def test_select_unknown_prefix_errors(self, exec_tree):
+        with pytest.raises(SystemExit):
+            lint(exec_tree, "--select", "REP9")
+
+    def test_select_clean_lists_only_selected(self, exec_tree, capsys):
+        (exec_tree / "src" / "repro" / "exec" / "task.py").write_text(
+            "def int_task(row0, nrows):\n    return row0 + nrows\n"
+        )
+        (exec_tree / "src" / "repro" / "hw" / "sched.py").write_text(CLEAN)
+        assert lint(exec_tree, "--select", "REP2") == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "REP201" in out and "REP204" in out
+        assert "REP102" not in out
+
+    def test_summary_prints_per_rule_timing_rows(self, exec_tree, capsys):
+        assert lint(exec_tree, "--select", "REP2", "--summary") == 1
+        err = capsys.readouterr().err
+        rows = {
+            line.split()[0]: line
+            for line in err.splitlines()
+            if line.startswith("REP")
+        }
+        assert {"REP201", "REP202", "REP203", "REP204"} <= set(rows)
+        assert "ms" in rows["REP203"]
+        assert rows["REP203"].rstrip().endswith("1")  # one finding
+        assert rows["REP201"].rstrip().endswith("0")
+
+    def test_noqa_suppresses_concurrency_rule(self, exec_tree):
+        (exec_tree / "src" / "repro" / "exec" / "task.py").write_text(
+            "def int_task(row0, nrows):\n"
+            '    _VIEWS["sf0"][:, :] = 0  # noqa: REP203\n'
+        )
+        assert lint(exec_tree, "--select", "REP2") == 0
 
 
 class TestSummaryCache:
