@@ -173,7 +173,17 @@ def cmd_platforms(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _enable_protocol_journal(args: argparse.Namespace) -> None:
+    """Switch the SAN-G lifecycle journal on for a ``--sanitize`` run."""
+    if getattr(args, "sanitize", False):
+        from repro.sanitizers.protocols.journal import JOURNAL
+
+        JOURNAL.reset()
+        JOURNAL.enable()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    _enable_protocol_journal(args)
     if getattr(args, "backend", "sim") == "process":
         return _cmd_run_process(args)
     cfg = _codec_cfg(args)
@@ -232,6 +242,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.sanitizers import TimelineSanitizer
 
         report = TimelineSanitizer.for_framework(fw).check_run(fw)
+        report.extend(TimelineSanitizer.check_protocols())
         print(report.summary())
         for v in report.violations[:20]:
             print(f"  {v}")
@@ -313,6 +324,7 @@ def _cmd_run_process(args: argparse.Namespace) -> int:
         for f, entries in sorted(fw.manager.exec_journal.items()):
             san_records += len(entries)
             san_report.extend(TimelineSanitizer.check_exec(entries, frame=f))
+        san_report.extend(TimelineSanitizer.check_protocols())
     n = len(frames)
     workers = fw.manager.workers
     speedup = serial_s / process_s if process_s > 0 else float("inf")
@@ -391,6 +403,7 @@ def _serve_workload(args: argparse.Namespace) -> list:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import EncodingService, ServiceConfig
 
+    _enable_protocol_journal(args)
     faults = _fault_schedule(args)
     workload = _serve_workload(args)
     try:
@@ -459,6 +472,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.sanitizers import TimelineSanitizer
 
         report = TimelineSanitizer.check_service(service)
+        report.extend(TimelineSanitizer.check_protocols())
         print(report.summary())
         for v in report.violations[:20]:
             print(f"  {v}")
@@ -476,6 +490,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         parse_node_fault_specs,
     )
 
+    _enable_protocol_journal(args)
     workload = _serve_workload(args)
     try:
         node_faults = parse_node_fault_specs(args.node_fault or [])
@@ -594,6 +609,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         from repro.sanitizers import TimelineSanitizer
 
         report = TimelineSanitizer.check_cluster(cluster)
+        report.extend(TimelineSanitizer.check_protocols())
         print(report.summary())
         for v in report.violations[:20]:
             print(f"  {v}")
@@ -667,6 +683,7 @@ def _cmd_profile_process(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    _enable_protocol_journal(args)
     if getattr(args, "backend", "sim") == "process":
         return _cmd_profile_process(args)
     from repro.util.profiling import PhaseProfiler
@@ -684,6 +701,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
             with profiler.phase("sanitizer"):
                 report = TimelineSanitizer.for_framework(fw).check_run(fw)
+                report.extend(TimelineSanitizer.check_protocols())
             if not report.clean:
                 print(f"warning: sanitizer: {report.summary()}", file=sys.stderr)
         return fw, profiler
@@ -845,14 +863,10 @@ def cmd_decode(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    import time as _time
     from pathlib import Path
 
-    from repro.sanitizers.concurrency import (
-        CONCURRENCY_RULES,
-        analyze_paths as analyze_concurrency,
-    )
-    from repro.sanitizers.dataflow import DATAFLOW_RULES, analyze_paths
+    from repro.sanitizers.concurrency import CONCURRENCY_RULES
+    from repro.sanitizers.dataflow import DATAFLOW_RULES
     from repro.sanitizers.dataflow.baseline import (
         load_baseline,
         split_findings,
@@ -865,14 +879,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         sort_violations,
     )
     from repro.sanitizers.dataflow.summaries import SummaryStore
-    from repro.sanitizers.lint import LINT_RULES, lint_paths
+    from repro.sanitizers.lint import LINT_RULES
+    from repro.sanitizers.protocols import PROTOCOL_RULES
+    from repro.sanitizers.runner import run_lint
 
     targets = [Path(p) for p in args.paths]
     for t in targets:
         if not t.exists():
             raise SystemExit(f"error: no such file or directory: {t}")
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
 
-    all_rules = {**LINT_RULES, **DATAFLOW_RULES, **CONCURRENCY_RULES}
+    all_rules = {
+        **LINT_RULES, **DATAFLOW_RULES, **CONCURRENCY_RULES,
+        **PROTOCOL_RULES,
+    }
     only = None
     if args.select:
         prefixes = [
@@ -887,36 +909,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 f"(known: {', '.join(sorted(all_rules))})"
             )
 
-    def _selected(rules: dict) -> list[str] | None:
-        return None if only is None else [r for r in rules if r in only]
-
     timings: dict[str, float] = {}
 
     # Exit codes: 0 clean, 1 unbaselined findings, 2 internal analyzer
     # error — so CI can tell "code has findings" from "the linter broke".
     try:
-        t0 = _time.perf_counter()
-        line_only = _selected(LINT_RULES)
-        if line_only is None or line_only:
-            violations = lint_paths(targets)
-            if line_only is not None:
-                violations = [v for v in violations if v.rule in line_only]
-        else:
-            violations = []
-        timings["REP0xx"] = _time.perf_counter() - t0
         store = SummaryStore(
             Path(args.summary_cache) if args.summary_cache else None
         )
-        dataflow, errors = analyze_paths(
-            targets, store=store, only=_selected(DATAFLOW_RULES),
-            timings=timings,
+        violations, errors = run_lint(
+            targets, only=only, timings=timings, jobs=jobs, store=store,
         )
-        violations.extend(dataflow)
-        concurrency, conc_errors = analyze_concurrency(
-            targets, only=_selected(CONCURRENCY_RULES), timings=timings,
-        )
-        violations.extend(concurrency)
-        errors = list(errors) + list(conc_errors)
     except Exception as exc:  # noqa: BLE001 - any crash is exit code 2
         print(f"internal analyzer error: {exc}", file=sys.stderr)
         return 2
@@ -1159,7 +1162,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="repo-specific static checks (REP001-004, REP101-104, "
-             "REP201-204)",
+             "REP201-204, REP301-304)",
         description=(
             "AST lint with simulator-specific rules: REP001 no wall-clock "
             "reads in hw/ and core/ simulation paths; REP002 no exact "
@@ -1176,8 +1179,14 @@ def build_parser() -> argparse.ArgumentParser:
             "REP202 task payload carries shared bulk data instead of "
             "scalar coordinates; REP203 shared-memory write escapes its "
             "(row0, nrows) band; REP204 τ1/τ2 phase ordering broken. "
-            "Suppress per line with '# noqa: REPxxx'. Exit codes: 0 "
-            "clean, 1 unbaselined findings, 2 internal analyzer error."
+            "Protocol rules (typestate over the lifecycle specs): REP301 "
+            "object lifecycle violates its protocol state machine; "
+            "REP302 clock rewound or cross-assigned between domains; "
+            "REP303 dequeued stream can exit without place/park/reject; "
+            "REP304 live-set mutated without note_live_set_change before "
+            "the next solve. Suppress per line with '# noqa: REPxxx'. "
+            "Exit codes: 0 clean, 1 unbaselined findings, 2 internal "
+            "analyzer error."
         ),
     )
     lint.add_argument("paths", nargs="*", default=["src"],
@@ -1199,6 +1208,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "skipped entirely")
     lint.add_argument("--summary", action="store_true",
                       help="print a per-rule timing/finding table to stderr")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyze files across N worker processes "
+                           "(default: 1; output is byte-identical for "
+                           "any N)")
     lint.set_defaults(func=cmd_lint)
 
     tr = sub.add_parser("trace", help="export a chrome://tracing JSON")

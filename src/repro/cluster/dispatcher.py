@@ -58,6 +58,7 @@ from repro.cluster.routing import RoutingPolicy, get_policy
 from repro.service.admission import REJECTED
 from repro.service.scheduler import RoundLPBatch, SchedulerConfig
 from repro.service.session import EncodingSession, StreamSpec
+from repro.sanitizers.protocols.journal import record as _journal
 
 #: Cluster-level stream states (:attr:`StreamState.state`).
 S_QUEUED, S_PLACED, S_REJECTED, S_STRANDED = (
@@ -176,15 +177,21 @@ class Dispatcher:
         self.queue: deque[StreamState] = deque()
         self.streams: dict[str, StreamState] = {}   # insertion-ordered
         self.counts = {"placed": 0, "parked": 0, "rejected": 0, "rerouted": 0}
+        # Event-time high-water for the lifecycle journal: dispatch
+        # times arrive monotone, but end-of-run stranding must never
+        # journal behind the last dispatch.
+        self.now = 0.0
 
     # ------------------------------------------------------------------
 
     def _place(self, st: StreamState, node: Node, t: float) -> str:
         """Offer a stream's pending spec to a node; book the segment."""
+        self.now = max(self.now, t)
         session, outcome = node.offer(st.pending_spec, t)
         if outcome == REJECTED:
             st.state = S_REJECTED
             self.counts["rejected"] += 1
+            _journal(self, "reject", self.now, detail=st.stream_id)
             return outcome
         st.segments.append(
             Segment(
@@ -196,6 +203,7 @@ class Dispatcher:
         )
         st.state = S_PLACED
         self.counts["placed"] += 1
+        _journal(self, "place", self.now, detail=st.stream_id)
         return outcome
 
     def submit(self, spec: StreamSpec, t: float) -> StreamState:
@@ -217,6 +225,8 @@ class Dispatcher:
             st.enqueued_s = t
             self.queue.append(st)
             self.counts["parked"] += 1
+            self.now = max(self.now, t)
+            _journal(self, "park", self.now, detail=st.stream_id)
             return st
         # Global overflow: hand it to the routed node anyway, whose
         # admission controller records the rejection (with no routable
@@ -225,6 +235,8 @@ class Dispatcher:
         if node is None:
             st.state = S_REJECTED
             self.counts["rejected"] += 1
+            self.now = max(self.now, t)
+            _journal(self, "reject", self.now, detail=st.stream_id)
             return st
         self._place(st, node, t)
         return st
@@ -236,10 +248,12 @@ class Dispatcher:
         newcomers; relative order is preserved. The global bound does not
         apply — survivors of a node fault are never dropped.
         """
+        self.now = max(self.now, t)
         for st in reversed(states):
             st.state = S_QUEUED
             st.enqueued_s = t
             self.queue.appendleft(st)
+            _journal(self, "park", self.now, detail=st.stream_id)
 
     def drain(self, t: float) -> int:
         """Place queued streams head-first; stop at the first blocked one.
@@ -255,6 +269,8 @@ class Dispatcher:
             if node is None or not node.has_room(head.pending_spec):
                 break
             self.queue.popleft()
+            self.now = max(self.now, t)
+            _journal(self, "dequeue", self.now, detail=head.stream_id)
             if head.enqueued_s is not None:
                 head.queue_wait_s += t - head.enqueued_s
                 head.enqueued_s = None
@@ -501,6 +517,10 @@ class Cluster:
         # Streams stuck in the global queue with no routable node left.
         for st in self.dispatcher.queue:
             st.state = S_STRANDED
+            _journal(
+                self.dispatcher, "strand", self.dispatcher.now,
+                detail=st.stream_id,
+            )
         self.dispatcher.queue.clear()
 
         for node in self.nodes:

@@ -26,6 +26,7 @@ from repro.service.service import EncodingService, ServiceConfig
 from repro.service.session import RUNNING
 from repro.service.session import QUEUED as SESSION_QUEUED
 from repro.service.session import EncodingSession, StreamSpec
+from repro.sanitizers.protocols.journal import record as _journal
 
 #: Node lifecycle states.
 UP, DOWN, DRAINED = "up", "down", "drained"
@@ -80,8 +81,9 @@ class Node:
             lp_batch=lp_batch,
         )
         # A node added by the autoscaler mid-run starts on the fleet clock.
-        self.service.now = start_s
+        self.service.now = max(self.service.now, start_s)
         self.state = UP
+        _journal(self, "create", start_s, detail=spec.node_id)
         self.joined_s = start_s
         self.retired_s: float | None = None
 
@@ -169,6 +171,7 @@ class Node:
         """
         svc = self.service
         svc.now = max(svc.now, now)
+        _journal(self, "offer", svc.now, detail=spec.stream_id)
         live = svc.live_devices(svc.rounds + 1)
         session = svc.submit(spec, live)
         if session.state == RUNNING:
@@ -202,6 +205,7 @@ class Node:
 
     def step(self, next_arrival_s: float | None = None) -> str:
         """Advance the node one service round (see ``EncodingService``)."""
+        _journal(self, "step", self.service.now, detail=self.node_id)
         live = self.service.begin_round()
         return self.service.step_round(live, next_arrival_s)
 
@@ -219,9 +223,11 @@ class Node:
         """
         svc = self.service
         svc.now = max(svc.now, now)
+        _journal(self, "evict_all", svc.now, detail=self.node_id)
         running, queued = svc.admission.evict_all()
         for s in running:
             s.state = EVICTED
+            _journal(s, "evict", svc.now, detail=s.stream_id)
         for s in queued:
             svc.sessions.remove(s)
         return running, queued
@@ -231,6 +237,7 @@ class Node:
             raise ValueError(f"retire state must be down/drained, got {state!r}")
         self.state = state
         self.retired_s = now
+        _journal(self, "retire", max(now, self.service.now), detail=self.node_id)
         # A retired process-backed node must not leak worker pools or
         # shared-memory segments (no-op for sim sessions).
         self.service.close()

@@ -317,6 +317,11 @@ class FevesFramework:
         for name, alive in self._live.items():
             if not alive and faults.down(idx, name) is None:
                 self._live[name] = True
+                # A re-admission changes the live set the cached decision
+                # and fixed-point seed were computed for; a fresh balancer
+                # would hold neither, so drop both before the next solve
+                # (stale-state bugfix).
+                self.balancer.note_live_set_change()
                 readmitted.append(name)
                 reasons.append((name, "outage ended; re-admitted"))
         live = frozenset(n for n, a in self._live.items() if a)
@@ -332,10 +337,6 @@ class FevesFramework:
                 f"all devices faulted at inter frame {idx}; cannot continue"
             )
         if readmitted:
-            # A re-admission changes the live set the cached decision and
-            # fixed-point seed were computed for; a fresh balancer would
-            # hold neither, so drop both (stale-state bugfix).
-            self.balancer.note_live_set_change()
             self._maybe_reselect_rstar()
         if self._rstar_device not in survivors:
             old = self._rstar_device
@@ -404,6 +405,9 @@ class FevesFramework:
             ev = faults.down(idx, name)
             assert ev is not None
             self._live[name] = False
+            # Mirror the perf/DAM eviction in the balancer: its decision
+            # cache and seed describe the pre-fault live set.
+            self.balancer.note_live_set_change()
             # A hang keeps the pre-fault estimates as priors (one-frame
             # re-warm on re-admission); clear_characterization forgets the
             # device so it must re-probe through warm-up rows.
@@ -413,10 +417,6 @@ class FevesFramework:
             if ev.duration:
                 why += f" for {ev.duration} frames"
             reasons.append((name, why))
-        if newly_down:
-            # Mirror the perf/DAM eviction in the balancer: its decision
-            # cache and seed describe the pre-fault live set.
-            self.balancer.note_live_set_change()
         if is_init:
             self._maybe_reselect_rstar()
 

@@ -181,6 +181,9 @@ class LoadBalancer:
         cache stays — its keys are the full constraint bytes, which
         already encode the live set.
         """
+        from repro.sanitizers.protocols.journal import record as _journal
+
+        _journal(self, "invalidate")
         self._cache_ks = None
         self._cache_key = None
         self._cache_decision = None
@@ -244,6 +247,9 @@ class LoadBalancer:
         )
         if not live_set:
             raise ValueError("no live devices to distribute over")
+        from repro.sanitizers.protocols.journal import record as _journal
+
+        _journal(self, "solve", detail=",".join(sorted(live_set)))
         live_idx = [i for i, dev in enumerate(devices) if dev.name in live_set]
         ready_idx = [i for i in live_idx if self._characterized(perf, devices[i])]
         warming_idx = [i for i in live_idx if i not in ready_idx]

@@ -31,6 +31,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.codec.config import MB_SIZE, CodecConfig
+from repro.sanitizers.protocols.journal import record as _proto_journal
 from repro.codec.interpolation import interpolate_rows
 from repro.codec.me import MotionField, motion_estimate_rows
 from repro.codec.sme import SubpelField, subpel_refine_rows
@@ -242,6 +243,7 @@ class KernelPool:
             initializer=_attach_worker,
             initargs=(layout, cfg, sanitize),
         )
+        _proto_journal(self, "create")
 
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -251,20 +253,24 @@ class KernelPool:
     def submit_me(
         self, row0: int, nrows: int, n_refs: int
     ) -> "Future[tuple[MotionField, float, float, list[AccessRecord]]]":
+        _proto_journal(self, "submit_me", detail=f"{row0}+{nrows}")
         return self._executor().submit(me_task, row0, nrows, n_refs)
 
     def submit_int(
         self, row0: int, nrows: int
     ) -> "Future[tuple[None, float, float, list[AccessRecord]]]":
+        _proto_journal(self, "submit_int", detail=f"{row0}+{nrows}")
         return self._executor().submit(int_task, row0, nrows)
 
     def submit_sme(
         self, row0: int, nrows: int, n_sfs: int, me_band: MotionField
     ) -> "Future[tuple[SubpelField, float, float, list[AccessRecord]]]":
+        _proto_journal(self, "submit_sme", detail=f"{row0}+{nrows}")
         return self._executor().submit(sme_task, row0, nrows, n_sfs, me_band)
 
     def close(self) -> None:
         """Shut the workers down (idempotent; queued tasks are dropped)."""
+        _proto_journal(self, "close")
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)

@@ -44,6 +44,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.codec.config import MB_SIZE, CodecConfig
+from repro.sanitizers.protocols.journal import record as _proto_journal
 
 #: Every slot stores 8-bit samples.
 SLOT_DTYPE = np.uint8
@@ -131,6 +132,7 @@ class SharedFrameStore:
         except BaseException:
             self.close()
             raise
+        _proto_journal(self, "create")
 
     def layout(self) -> Layout:
         """Attachment info for the pool initializer."""
@@ -138,6 +140,7 @@ class SharedFrameStore:
 
     def view(self, key: str) -> np.ndarray:
         """Host-side array over a slot (valid until :meth:`close`)."""
+        _proto_journal(self, "view", detail=key)
         if self._closed:
             raise RuntimeError("shared frame store is closed")
         arr = self._views.get(key)
@@ -183,6 +186,7 @@ class SharedFrameStore:
 
     def close(self) -> None:
         """Release and unlink every segment (idempotent)."""
+        _proto_journal(self, "close")
         if self._closed:
             return
         self._closed = True

@@ -336,7 +336,11 @@ class Simulator:
                     futures.add(pool.submit(execute, op))
                     submitted += 1
             while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                # The executor and every future it waits on are created
+                # and joined inside this call, so no fork can snapshot
+                # the wait mid-acquire; REP201's reachability chain here
+                # is a tail-name collision (generic run/encode names).
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)  # noqa: REP201
                 for fut in finished:
                     op, exc = fut.result()
                     if exc is not None:

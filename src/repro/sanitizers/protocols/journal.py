@@ -1,0 +1,147 @@
+"""Runtime lifecycle journal: the event stream SAN-G replays.
+
+Instrumented classes (sessions, nodes, the dispatcher, the shared frame
+store, the kernel pool, the load balancer) call :func:`record` at each
+lifecycle transition; under ``REPRO_SANITIZE`` (or an explicit
+:meth:`ProtocolJournal.enable`) the event is appended to the global
+:data:`JOURNAL`, and :meth:`TimelineSanitizer.check_protocols` replays
+the stream against the declarative specs in
+:mod:`repro.sanitizers.protocols.spec`.
+
+Design constraints:
+
+- **Zero repro imports.** The hot runtime modules (and forked/spawned
+  pool workers) import this file; it must not pull the analysis stack
+  or any numpy-heavy module.
+- **Determinism.** Object labels are assigned in first-recorded order
+  (``Node#0``, ``Node#1`` …) and sequence numbers are dense, so a
+  deterministic run produces a byte-identical journal across
+  ``PYTHONHASHSEED`` (pinned by the determinism regression tests).
+  Strong references are kept for labeled objects so ``id()`` reuse can
+  never alias two objects to one label.
+- **Near-zero cost when off.** ``record`` is a single env check when
+  sanitizing is disabled.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Same switch as every other sanitizer layer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def _env_on() -> bool:
+    return os.environ.get(SANITIZE_ENV, "").lower() in ("1", "strict")
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One journaled lifecycle event."""
+
+    seq: int
+    cls: str      # tracked class name ("Node", "KernelPool", ...)
+    obj: str      # stable per-run label ("Node#0", ...)
+    event: str    # transition/observer/obligation event name
+    clock: float  # the object's own clock at the event (0.0 if none)
+    detail: str = ""  # stream id / slot key / live-set signature
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "cls": self.cls,
+            "obj": self.obj,
+            "event": self.event,
+            "clock": repr(self.clock),
+            "detail": self.detail,
+        }
+
+
+class ProtocolJournal:
+    """Global, append-only event journal (one per process)."""
+
+    def __init__(self) -> None:
+        self._events: list[ProtocolEvent] = []
+        self._labels: dict[int, str] = {}
+        self._keep: list[object] = []  # pin ids against reuse
+        self._counts: dict[str, int] = {}
+        self._forced = False
+
+    # -- switches ------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._forced or _env_on()
+
+    def enable(self) -> None:
+        """Force journaling on regardless of the environment."""
+        self._forced = True
+
+    def disable(self) -> None:
+        self._forced = False
+
+    def reset(self) -> None:
+        """Drop every event and label (test isolation)."""
+        self._events.clear()
+        self._labels.clear()
+        self._keep.clear()
+        self._counts.clear()
+
+    # -- recording -----------------------------------------------------
+
+    def label_of(self, obj: object) -> str:
+        key = id(obj)
+        label = self._labels.get(key)
+        if label is None:
+            cls = type(obj).__name__
+            k = self._counts.get(cls, 0)
+            self._counts[cls] = k + 1
+            label = f"{cls}#{k}"
+            self._labels[key] = label
+            self._keep.append(obj)
+        return label
+
+    def record(
+        self, obj: object, event: str, clock: float = 0.0, detail: str = ""
+    ) -> None:
+        if not self.active:
+            return
+        self._events.append(
+            ProtocolEvent(
+                seq=len(self._events),
+                cls=type(obj).__name__,
+                obj=self.label_of(obj),
+                event=event,
+                clock=float(clock),
+                detail=detail,
+            )
+        )
+
+    # -- consumption ---------------------------------------------------
+
+    def drain(self) -> list[ProtocolEvent]:
+        """Return and clear the journal (labels survive for continuity)."""
+        out, self._events = self._events, []
+        return out
+
+    def snapshot(self) -> list[ProtocolEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+#: The process-wide journal every instrumented class records into.
+JOURNAL = ProtocolJournal()
+
+
+def record(
+    obj: object, event: str, clock: float = 0.0, detail: str = ""
+) -> None:
+    """Journal one lifecycle event on the global journal (cheap no-op
+    unless sanitizing is enabled)."""
+    JOURNAL.record(obj, event, clock, detail)
+
+
+__all__ = ["JOURNAL", "ProtocolEvent", "ProtocolJournal", "record"]

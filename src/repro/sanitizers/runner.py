@@ -1,0 +1,215 @@
+"""Parallel lint runner: every analysis layer over one file per task.
+
+``repro lint --jobs N`` routes through :func:`run_lint`. The pipeline
+has a short serial prefix and an embarrassingly parallel body:
+
+1. **Serial**: collect the file list, build the merged dataflow unit
+   summaries (REP101's cross-module signatures) and the layer-4 call
+   graph (REP201 reachability, REP304 solve reachability) over *all*
+   modules — both are whole-scope artifacts a single file cannot
+   produce.
+2. **Parallel**: one task per file runs the per-line lint (REP0xx),
+   the dataflow rules (REP1xx), the concurrency rules (REP2xx) and the
+   protocol rules (REP3xx) against those shared artifacts.
+
+Determinism: task results are collected in input order (``Executor.
+map``), each file's findings depend only on (source, summaries, graph),
+and workers rebuild the shared artifacts from the exact same module
+list — so stdout is byte-identical for any ``--jobs`` value (pinned by
+``tests/sanitizers/test_lint_jobs.py``). ``jobs=1`` runs in-process
+with no pool and remains the default.
+
+Internal errors cross the process boundary as plain tuples (the frozen
+:class:`AnalyzerError` dataclass does not survive exception pickling)
+and are rebuilt in the parent.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.sanitizers.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_source as analyze_concurrency,
+)
+from repro.sanitizers.concurrency.callgraph import CallGraph, build_graph
+from repro.sanitizers.dataflow import (
+    DATAFLOW_RULES,
+    analyze_source as analyze_dataflow,
+)
+from repro.sanitizers.dataflow.engine import AnalyzerError
+from repro.sanitizers.dataflow.summaries import SummaryStore
+from repro.sanitizers.lint import (
+    LINT_RULES,
+    LintViolation,
+    iter_python_files,
+    lint_source,
+)
+from repro.sanitizers.protocols import (
+    PROTOCOL_RULES,
+    analyze_source as analyze_protocols,
+)
+
+#: (display, source) for every module in the lint scope.
+Modules = list[tuple[str, str]]
+
+#: One task's result: findings, errors as tuples, per-rule seconds.
+FileResult = tuple[
+    list[LintViolation], list[tuple[str, str, str, str]], dict[str, float]
+]
+
+
+def _layer_only(
+    rules: dict[str, str], only: list[str] | None
+) -> list[str] | None:
+    return None if only is None else [r for r in rules if r in only]
+
+
+def collect_modules(targets: list[Path]) -> Modules:
+    modules: Modules = []
+    for target in targets:
+        for path in iter_python_files(target):
+            try:
+                source = path.read_text()
+            except (OSError, UnicodeDecodeError):
+                continue
+            modules.append((str(path), source))
+    return modules
+
+
+def build_shared(
+    modules: Modules, store: SummaryStore | None = None
+) -> tuple[dict[str, str], CallGraph]:
+    """The whole-scope artifacts every per-file task reads."""
+    import ast
+
+    store = store if store is not None else SummaryStore()
+    trees: list[tuple[str, ast.Module]] = []
+    for display, source in modules:
+        store.add_module(display, source)
+        try:
+            trees.append((display, ast.parse(source, filename=display)))
+        except SyntaxError:
+            continue
+    merged = store.merged()
+    store.save()
+    return merged, build_graph(trees)
+
+
+def run_file(
+    display: str,
+    source: str,
+    summaries: dict[str, str],
+    graph: CallGraph,
+    only: list[str] | None,
+) -> FileResult:
+    """All four analysis layers over one module."""
+    import time
+
+    timings: dict[str, float] = {}
+    violations: list[LintViolation] = []
+    err_tuples: list[tuple[str, str, str, str]] = []
+
+    line_only = _layer_only(LINT_RULES, only)
+    if line_only is None or line_only:
+        t0 = time.perf_counter()
+        found = lint_source(source, Path(display))
+        if line_only is not None:
+            found = [v for v in found if v.rule in line_only]
+        violations.extend(found)
+        timings["REP0xx"] = time.perf_counter() - t0
+
+    for analyze, rules, kwargs in (
+        (analyze_dataflow, DATAFLOW_RULES, {"summaries": summaries}),
+        (analyze_concurrency, CONCURRENCY_RULES, {"graph": graph}),
+        (analyze_protocols, PROTOCOL_RULES, {"graph": graph}),
+    ):
+        v, e = analyze(
+            source,
+            display,
+            only=_layer_only(rules, only),
+            timings=timings,
+            **kwargs,
+        )
+        violations.extend(v)
+        err_tuples.extend(
+            (err.path, err.function, err.rule, err.detail) for err in e
+        )
+    return violations, err_tuples, timings
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state for jobs > 1 (built once per worker process).
+
+_WORKER: dict[str, object] = {}
+
+
+def _init_worker(modules: Modules, only: list[str] | None) -> None:
+    summaries, graph = build_shared(modules)
+    _WORKER["sources"] = dict(modules)
+    _WORKER["summaries"] = summaries
+    _WORKER["graph"] = graph
+    _WORKER["only"] = only
+
+
+def _worker_task(display: str) -> FileResult:
+    sources: dict[str, str] = _WORKER["sources"]  # type: ignore[assignment]
+    return run_file(
+        display,
+        sources[display],
+        _WORKER["summaries"],  # type: ignore[arg-type]
+        _WORKER["graph"],      # type: ignore[arg-type]
+        _WORKER["only"],       # type: ignore[arg-type]
+    )
+
+
+def run_lint(
+    targets: list[Path],
+    *,
+    only: list[str] | None = None,
+    timings: dict[str, float] | None = None,
+    jobs: int = 1,
+    store: SummaryStore | None = None,
+) -> tuple[list[LintViolation], list[AnalyzerError]]:
+    """Every lint layer over the targets, optionally across processes.
+
+    ``only`` restricts to a rule subset (the CLI's ``--select``);
+    ``jobs`` > 1 fans the per-file work out over a process pool with
+    byte-identical findings. Returns ``(violations, errors)`` in file
+    order; the caller sorts and formats.
+    """
+    modules = collect_modules(targets)
+    results: list[FileResult] = []
+    if jobs <= 1 or len(modules) <= 1:
+        summaries, graph = build_shared(modules, store=store)
+        for display, source in modules:
+            results.append(run_file(display, source, summaries, graph, only))
+    else:
+        if store is not None:
+            # Keep the cache warm even though workers rebuild their own.
+            build_shared(modules, store=store)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(modules, only),
+        ) as pool:
+            results = list(
+                pool.map(_worker_task, [d for d, _ in modules])
+            )
+
+    violations: list[LintViolation] = []
+    errors: list[AnalyzerError] = []
+    for file_violations, err_tuples, file_timings in results:
+        violations.extend(file_violations)
+        errors.extend(
+            AnalyzerError(path=p, function=f, rule=r, detail=d)
+            for p, f, r, d in err_tuples
+        )
+        if timings is not None:
+            for rule, dt in file_timings.items():
+                timings[rule] = timings.get(rule, 0.0) + dt
+    return violations, errors
+
+
+__all__ = ["collect_modules", "build_shared", "run_file", "run_lint"]

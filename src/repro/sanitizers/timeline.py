@@ -672,6 +672,35 @@ class TimelineSanitizer:
                     )
         return out
 
+    # ----------------------- protocol checks (SAN-G) ----------------------
+
+    @staticmethod
+    def check_protocols(events: list | None = None) -> SanitizerReport:
+        """Class-G lifecycle/protocol discipline on the runtime journal.
+
+        ``events`` is a list of :class:`~repro.sanitizers.protocols.
+        journal.ProtocolEvent` (the stream instrumented classes emit
+        under ``REPRO_SANITIZE``); when omitted, the global journal is
+        drained. The events are replayed against the declarative specs
+        in :mod:`repro.sanitizers.protocols.spec` — the same
+        declarations the REP301–REP304 static rules compile from:
+
+        **SAN-G1** — an event illegal in the object's protocol state
+        (``step()`` on a retired node, ``view()`` on a closed store),
+        or the object's own clock running backwards between events.
+
+        **SAN-G2** — an unmet obligation: a dequeued/parked stream with
+        no disposition, a solve over a changed live set with no
+        invalidation in between, or a ``require_terminal`` object
+        (kernel pool, frame store) never shut down by teardown.
+        """
+        from repro.sanitizers.protocols.journal import JOURNAL
+        from repro.sanitizers.protocols.monitor import check_events
+
+        if events is None:
+            events = JOURNAL.drain()
+        return check_events(events)
+
     # ------------------------- cluster-level checks -----------------------
 
     @staticmethod

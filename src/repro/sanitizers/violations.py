@@ -31,6 +31,10 @@ SCHED_RULES: dict[str, str] = {
     "SAN-E3": "frames lost or duplicated across a cluster reroute",
     "SAN-F1": "concurrent shared-memory writes overlap (row bands collide)",
     "SAN-F2": "shared-memory read not ordered after the writes it depends on",
+    "SAN-G1": "lifecycle event illegal in the object's protocol state "
+              "(or its clock ran backwards)",
+    "SAN-G2": "protocol obligation unmet (missing disposition, "
+              "invalidation, or shutdown)",
 }
 
 

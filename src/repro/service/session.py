@@ -29,6 +29,7 @@ from repro.core.config import FrameworkConfig
 from repro.core.framework import FevesFramework, FrameOutcome
 from repro.hw.noise import FaultEvent, FaultSchedule
 from repro.hw.presets import get_platform
+from repro.sanitizers.protocols.journal import record as _journal
 
 
 @dataclass(frozen=True)
@@ -204,6 +205,7 @@ class EncodingSession:
         )
         self._intra_done = False
         self.state = QUEUED
+        _journal(self, "create", 0.0, detail=spec.stream_id)
         self.admitted_s: float | None = None
         self.records: list[FrameRecord] = []
         # EWMA of the full-speed (share-normalized) frame time: the
@@ -234,10 +236,12 @@ class EncodingSession:
         if self.state != QUEUED:
             raise RuntimeError(f"cannot admit session in state {self.state!r}")
         self.state = RUNNING
+        _journal(self, "admit", now, detail=self.stream_id)
         self.admitted_s = now
 
     def reject(self) -> None:
         self.state = REJECTED
+        _journal(self, "reject", self.spec.arrival_s, detail=self.stream_id)
 
     @property
     def wait_s(self) -> float:
@@ -294,6 +298,7 @@ class EncodingSession:
         """Encode the session's next frame at ``share`` of the platform."""
         if self.state != RUNNING or self.done:
             raise RuntimeError(f"session {self.stream_id!r} has no frame to encode")
+        _journal(self, "step", now, detail=self.stream_id)
         for dev in self.framework.platform.devices:
             dev.set_capacity_share(share)
         self.fault_view.round = round_idx
@@ -326,6 +331,7 @@ class EncodingSession:
             self._tau_full_ewma = 0.5 * full + 0.5 * self._tau_full_ewma
         if self.done:
             self.state = DONE
+            _journal(self, "finish", rec.end_s, detail=self.stream_id)
             # A finished process-backed session holds a worker pool and
             # shared segments; free them as soon as the stream completes.
             self.close()

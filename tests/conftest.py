@@ -59,7 +59,15 @@ def _schedule_sanitizer(monkeypatch):
         return report
 
     monkeypatch.setattr(ProcessBackend, "run_frame", exec_sanitized)
+
+    # SAN-G: the env var switches the lifecycle journal on; replay each
+    # test's journal against the protocol specs at teardown. The reset
+    # keeps one test's objects from leaking obligations into the next.
+    from repro.sanitizers.protocols.journal import JOURNAL
+
+    JOURNAL.reset()
     yield
+    TimelineSanitizer.check_protocols(JOURNAL.drain()).raise_if_dirty()
 
 
 @pytest.fixture

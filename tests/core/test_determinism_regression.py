@@ -346,3 +346,91 @@ def test_lint_output_identical_across_hash_seeds():
     ((rc, stdout),) = results
     assert rc == 0, f"exec/ sources must lint clean, got:\n{stdout}"
     assert json.loads(stdout) == []
+
+
+# The protocol layer (REP3xx + SAN-G) repeats the contract on two new
+# surfaces: lint findings over typestate/obligation domains (sets of
+# states, pending-site tuples, reverse-reachability worklists — all
+# name- or position-keyed) and the runtime lifecycle journal itself
+# (object labels, sequence numbers, event details). Both must be
+# byte-identical across hash seeds.
+def _run_lint3(hash_seed: str) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "lint",
+            "--select", "REP3", "--format", "json", "--no-baseline",
+            "src/repro/cluster", "src/repro/service", "src/repro/core",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return out.returncode, out.stdout
+
+
+def test_protocol_lint_identical_across_hash_seeds():
+    results = {_run_lint3(seed) for seed in ("0", "1", "4242")}
+    assert len(results) == 1, (
+        f"REP3xx lint output varies with PYTHONHASHSEED: {results}"
+    )
+    ((rc, stdout),) = results
+    assert rc == 0, f"runtime sources must lint clean, got:\n{stdout}"
+    assert json.loads(stdout) == []
+
+
+# The SAN-G journal of a real fleet run: labels are assigned in
+# first-record order, sequence numbers are dense, and event details are
+# stream/node ids — none of which may leak hash-seed-dependent order.
+PROTOCOL_RUNNER = r"""
+import hashlib, json
+
+from repro.cluster import (
+    Cluster, ClusterConfig, NodeFaultEvent, NodeFaultSchedule, NodeSpec,
+)
+from repro.sanitizers import TimelineSanitizer
+from repro.sanitizers.protocols.journal import JOURNAL
+from repro.service import build_workload
+
+JOURNAL.reset()
+JOURNAL.enable()
+wl = build_workload(
+    5, n_frames=3, mix="conference", arrival_rate=25.0, seed=9
+)
+cluster = Cluster(ClusterConfig(
+    nodes=(NodeSpec("n0", platform="SysHK"), NodeSpec("n1", platform="SysNF")),
+    node_faults=NodeFaultSchedule(
+        [NodeFaultEvent("n0", at_s=0.1, kind="down")]
+    ),
+))
+cluster.run(wl)
+events = JOURNAL.snapshot()
+report = TimelineSanitizer.check_protocols(JOURNAL.drain())
+assert report.clean, report.summary()
+blob = [e.to_dict() for e in events]
+print(hashlib.sha256(json.dumps(blob, sort_keys=False).encode()).hexdigest())
+"""
+
+
+def _run_protocol_journal(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = subprocess.run(
+        [sys.executable, "-c", PROTOCOL_RUNNER],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_protocol_journal_identical_across_hash_seeds():
+    digests = {_run_protocol_journal(seed) for seed in ("0", "1", "4242")}
+    assert len(digests) == 1, (
+        f"SAN-G lifecycle journal varies with PYTHONHASHSEED: {digests}"
+    )

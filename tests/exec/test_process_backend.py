@@ -228,6 +228,12 @@ class TestLifecycle:
         store.close()
         with pytest.raises(RuntimeError, match="closed"):
             store.view("cur")
+        # The deliberate use-after-close above is exactly what SAN-G1
+        # exists to catch; keep it out of the strict-mode teardown check
+        # (tests/exec/test_protocols_exec.py pins that it IS caught).
+        from repro.sanitizers.protocols.journal import JOURNAL
+
+        JOURNAL.drain()
 
     def test_framework_close_is_idempotent(self, frames):
         fw = FevesFramework(

@@ -1,0 +1,79 @@
+"""``repro lint --jobs N``: output is byte-identical for any worker count.
+
+The parallel runner splits at file granularity after a serial
+whole-scope pass (dataflow summaries + call graph), and collects
+results in input order — so stdout, exit code, and JSON payloads must
+not depend on N. Runs the real CLI in subprocesses (the pool is a
+``ProcessPoolExecutor``; in-process invocation would share the parent's
+module cache and hide pickling regressions).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+#: A scope with real findings history and every rule family in scope
+#: (REP0xx style, REP1xx dataflow, REP2xx concurrency, REP3xx protocols).
+TARGETS = [
+    str(SRC / "repro" / "exec"),
+    str(SRC / "repro" / "cluster"),
+    str(SRC / "repro" / "service"),
+]
+
+BUGGY = (
+    "from repro.cluster.node import Node\n"
+    "\n"
+    "def shutdown_one(spec, t):\n"
+    "    node = Node(spec)\n"
+    "    node.retire(t, 'down')\n"
+    "    node.step()\n"
+    "\n"
+    "class EncodingService:\n"
+    "    def hurry(self):\n"
+    "        self.now = self.now - 5.0\n"
+)
+
+
+def run_lint(args: list[str], jobs: int) -> subprocess.CompletedProcess:
+    env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--jobs", str(jobs), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+
+
+class TestJobsEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_clean_tree_output_identical(self, jobs):
+        ref = run_lint([*TARGETS, "--no-baseline"], jobs=1)
+        par = run_lint([*TARGETS, "--no-baseline"], jobs=jobs)
+        assert par.returncode == ref.returncode, par.stderr
+        assert par.stdout == ref.stdout
+
+    def test_findings_identical_and_ordered(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "cluster" / "mutant.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(BUGGY)
+        args = [str(tmp_path / "src"), "--no-baseline", "--format", "json"]
+        ref = run_lint(args, jobs=1)
+        par = run_lint(args, jobs=4)
+        assert ref.returncode == 1  # the mutants were found...
+        assert par.returncode == 1
+        assert par.stdout == ref.stdout  # ...identically
+        assert "REP301" in ref.stdout and "REP302" in ref.stdout
+
+    def test_bad_jobs_value_rejected(self):
+        proc = run_lint([*TARGETS[:1], "--no-baseline"], jobs=0)
+        assert proc.returncode != 0
+        assert "--jobs must be >= 1" in proc.stderr

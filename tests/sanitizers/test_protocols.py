@@ -1,0 +1,702 @@
+"""Layer-5 protocol analysis: DSL validation, REP3xx mutants, SAN-G pins.
+
+Three layers of coverage:
+
+1. the spec DSL itself — malformed specs must fail *at construction*
+   with named-token errors, and every shipped spec must round-trip
+   through its own validator;
+2. the static half — one seeded mutant and one clean twin per rule
+   (REP301–REP304), analyzed under in-scope display paths;
+3. the dynamic half — the same bug classes reproduced on *real* runtime
+   objects with the lifecycle journal enabled, caught by SAN-G replay.
+
+The static/dynamic agreement pins (same mutant caught by both halves)
+live in the ``TestAgreement`` class at the bottom.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeSpec
+from repro.cluster.node import DOWN, Node
+from repro.sanitizers.protocols import (
+    PROTOCOL_RULES,
+    analyze_source,
+    rules_for_path,
+)
+from repro.sanitizers.protocols.journal import JOURNAL
+from repro.sanitizers.protocols.monitor import check_events
+from repro.sanitizers.protocols.spec import (
+    CLASS_SPECS,
+    SPEC_BY_NAME,
+    SPECS,
+    Obligation,
+    Observer,
+    ProtocolSpec,
+    ProtocolSpecError,
+    Transition,
+)
+from repro.service.session import StreamSpec
+
+CLUSTER_PATH = "src/repro/cluster/fake_module.py"
+CORE_PATH = "src/repro/core/fake_module.py"
+
+
+def run(source: str, *, only=None, path: str = CLUSTER_PATH):
+    violations, errors = analyze_source(
+        textwrap.dedent(source), path, only=only
+    )
+    assert not errors, errors
+    return violations
+
+
+def rules_hit(source: str, **kw) -> list[str]:
+    return [v.rule for v in run(source, **kw)]
+
+
+@pytest.fixture
+def journal():
+    """Force the lifecycle journal on for one test, drained at exit."""
+    JOURNAL.reset()
+    JOURNAL.enable()
+    yield JOURNAL
+    JOURNAL.disable()
+    JOURNAL.reset()
+
+
+def make_node(**kw):
+    spec_kw = {"node_id": "n0", "platform": "SysHK"}
+    spec_kw.update(kw)
+    return Node(NodeSpec(**spec_kw))
+
+
+# ---------------------------------------------------------------------------
+# 1. The DSL: malformed specs fail at construction with named tokens.
+
+
+class TestSpecDsl:
+    def test_unknown_state_in_transition(self):
+        with pytest.raises(ProtocolSpecError, match="unknown state"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a",),
+                initial="a",
+                transitions=(Transition("go", ("a",), "nowhere"),),
+            )
+
+    def test_unknown_initial_state(self):
+        with pytest.raises(ProtocolSpecError, match="unknown state"):
+            ProtocolSpec(name="bad", classes=("X",), states=("a",), initial="b")
+
+    def test_unknown_state_in_observer(self):
+        with pytest.raises(ProtocolSpecError, match="unknown state"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a",),
+                initial="a",
+                observers=(Observer("peek", ("b",)),),
+            )
+
+    def test_unreachable_terminal(self):
+        with pytest.raises(ProtocolSpecError, match="unreachable terminal"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a", "b"),
+                initial="a",
+                terminal=("b",),  # no transition ever reaches it
+            )
+
+    def test_duplicate_transition(self):
+        with pytest.raises(ProtocolSpecError, match="duplicate transition"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a", "b"),
+                initial="a",
+                transitions=(
+                    Transition("go", ("a",), "b"),
+                    Transition("go", ("a",), "a"),  # ambiguous from 'a'
+                ),
+            )
+
+    def test_duplicate_state(self):
+        with pytest.raises(ProtocolSpecError, match="duplicate state"):
+            ProtocolSpec(
+                name="bad", classes=("X",), states=("a", "a"), initial="a"
+            )
+
+    def test_method_cannot_be_transition_and_observer(self):
+        with pytest.raises(ProtocolSpecError, match="both a"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a",),
+                initial="a",
+                transitions=(Transition("go", ("a",), "a"),),
+                observers=(Observer("go", ("a",)),),
+            )
+
+    def test_require_terminal_needs_a_terminal(self):
+        with pytest.raises(ProtocolSpecError, match="require_terminal"):
+            ProtocolSpec(
+                name="bad",
+                classes=("X",),
+                states=("a",),
+                initial="a",
+                require_terminal=True,
+            )
+
+    def test_obligation_unknown_kind(self):
+        with pytest.raises(ProtocolSpecError, match="unknown kind"):
+            Obligation(name="o", trigger="t", discharge=("d",), kind="weird")
+
+    def test_obligation_empty_discharge(self):
+        with pytest.raises(ProtocolSpecError, match="empty discharge"):
+            Obligation(name="o", trigger="t", discharge=())
+
+
+class TestShippedSpecs:
+    """Every shipped spec round-trips through its own validator."""
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_roundtrip_compiles(self, spec):
+        # Reconstructing from the declared fields re-runs the eager
+        # validation; equality proves nothing was normalized away.
+        again = ProtocolSpec(
+            name=spec.name,
+            classes=spec.classes,
+            states=spec.states,
+            initial=spec.initial,
+            transitions=spec.transitions,
+            terminal=spec.terminal,
+            observers=spec.observers,
+            obligations=spec.obligations,
+            require_terminal=spec.require_terminal,
+        )
+        assert again == spec
+        assert again.by_method == spec.by_method
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_step_agrees_with_allowed_sources(self, spec):
+        methods = set(spec.by_method) | set(spec.observer_states)
+        for state in spec.states:
+            for method in methods:
+                legal = state in spec.allowed_sources(method)
+                assert (spec.step(state, method) is not None) == legal
+
+    def test_every_tracked_class_maps_to_one_spec(self):
+        for cls, spec in CLASS_SPECS.items():
+            assert cls in spec.classes
+        assert set(SPEC_BY_NAME) == {s.name for s in SPECS}
+
+    def test_methods_outside_alphabet_are_neutral(self):
+        spec = SPEC_BY_NAME["node"]
+        assert spec.step("up", "not_a_protocol_method") == "up"
+
+
+# ---------------------------------------------------------------------------
+# 2. Static half: one mutant + clean twin per rule.
+
+
+class TestRep301Typestate:
+    def test_step_after_retire_is_flagged(self):
+        assert "REP301" in rules_hit(
+            """\
+            from repro.cluster.node import Node
+
+            def shutdown_one(spec, stream, t):
+                node = Node(spec)
+                node.offer(stream, t)
+                node.retire(t, "down")
+                node.step()
+            """
+        )
+
+    def test_retire_then_step_on_one_branch_only(self):
+        # The violating path goes through the if-branch; the join must
+        # keep the 'retired' possibility alive (may-analysis).
+        assert "REP301" in rules_hit(
+            """\
+            from repro.cluster.node import Node
+
+            def maybe_retire(spec, t, flaky):
+                node = Node(spec)
+                if flaky:
+                    node.retire(t, "down")
+                node.step()
+            """
+        )
+
+    def test_step_before_retire_is_clean(self):
+        assert not rules_hit(
+            """\
+            from repro.cluster.node import Node
+
+            def run_one(spec, stream, t):
+                node = Node(spec)
+                node.offer(stream, t)
+                node.step()
+                node.retire(t, "down")
+            """
+        )
+
+    def test_view_after_close_is_flagged(self):
+        assert "REP301" in rules_hit(
+            """\
+            from repro.exec.shm import SharedFrameStore
+
+            def leak(layout):
+                store = SharedFrameStore(layout)
+                store.close()
+                return store.view("orig")
+            """,
+            path="src/repro/exec/fake_module.py",
+        )
+
+    def test_unlink_before_close_is_flagged(self):
+        assert "REP301" in rules_hit(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def teardown(name):
+                seg = SharedMemory(name=name)
+                seg.unlink()
+                seg.close()
+            """,
+            path="src/repro/exec/fake_module.py",
+        )
+
+    def test_close_then_unlink_is_clean(self):
+        assert not rules_hit(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def teardown(name):
+                seg = SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+            """,
+            path="src/repro/exec/fake_module.py",
+        )
+
+
+class TestRep302Clocks:
+    def test_rewind_is_flagged(self):
+        assert "REP302" in rules_hit(
+            """\
+            class EncodingService:
+                def hurry(self, t):
+                    self.now = self.now - 5.0
+            """
+        )
+
+    def test_cross_domain_assignment_is_flagged(self):
+        assert "REP302" in rules_hit(
+            """\
+            class Dispatcher:
+                def sync(self, node):
+                    self.now = node.service.now
+            """
+        )
+
+    def test_monotone_pull_is_clean(self):
+        assert not rules_hit(
+            """\
+            class EncodingService:
+                def advance(self, t):
+                    self.now = max(self.now, t)
+            """
+        )
+
+    def test_seed_in_init_is_clean(self):
+        assert not rules_hit(
+            """\
+            class EncodingService:
+                def __init__(self):
+                    self.now = 0.0
+            """
+        )
+
+    def test_bare_reset_outside_init_is_flagged(self):
+        assert "REP302" in rules_hit(
+            """\
+            class EncodingService:
+                def restart(self):
+                    self.now = 0.0
+            """
+        )
+
+
+class TestRep303Conservation:
+    def test_pop_with_bailing_branch_is_flagged(self):
+        assert "REP303" in rules_hit(
+            """\
+            class Dispatcher:
+                def drain(self, t):
+                    while self.queue:
+                        head = self.queue.popleft()
+                        node = self.pick(head)
+                        if node is None:
+                            return 0
+                        self._place(head, node, t)
+                    return 1
+            """
+        )
+
+    def test_peek_then_pop_is_clean(self):
+        # The shipped drain shape: decide on the head first, pop only
+        # once a placement is guaranteed.
+        assert not rules_hit(
+            """\
+            class Dispatcher:
+                def drain(self, t):
+                    while self.queue:
+                        head = self.queue[0]
+                        node = self.pick(head)
+                        if node is None:
+                            return 0
+                        self.queue.popleft()
+                        self._place(head, node, t)
+                    return 1
+            """
+        )
+
+    def test_pop_disposed_on_all_branches_is_clean(self):
+        assert not rules_hit(
+            """\
+            class Dispatcher:
+                def drain(self, t):
+                    while self.queue:
+                        head = self.queue.popleft()
+                        node = self.pick(head)
+                        if node is None:
+                            self.reject(head)
+                        else:
+                            self._place(head, node, t)
+            """
+        )
+
+
+class TestRep304Invalidation:
+    def test_mutation_then_solve_is_flagged(self):
+        assert "REP304" in rules_hit(
+            """\
+            class FevesFramework:
+                def readmit(self, name):
+                    self._live[name] = True
+                    return self.balancer.solve(self.perf)
+            """,
+            path=CORE_PATH,
+        )
+
+    def test_mutation_escaping_function_is_flagged(self):
+        assert "REP304" in rules_hit(
+            """\
+            class FevesFramework:
+                def evict(self, name):
+                    self._live[name] = False
+            """,
+            path=CORE_PATH,
+        )
+
+    def test_invalidate_between_is_clean(self):
+        assert not rules_hit(
+            """\
+            class FevesFramework:
+                def readmit(self, name):
+                    self._live[name] = True
+                    self.balancer.note_live_set_change()
+                    return self.balancer.solve(self.perf)
+            """,
+            path=CORE_PATH,
+        )
+
+    def test_transitive_reach_to_solve_is_flagged(self):
+        # The solve sits two calls away; only the call graph sees it.
+        assert "REP304" in rules_hit(
+            """\
+            class FevesFramework:
+                def _decide(self):
+                    return self.balancer.solve(self.perf)
+
+                def _replan(self):
+                    return self._decide()
+
+                def readmit(self, name):
+                    self._live[name] = True
+                    return self._replan()
+            """,
+            path=CORE_PATH,
+        )
+
+
+# ---------------------------------------------------------------------------
+# 3. Scoping and registry plumbing.
+
+
+class TestScopes:
+    def test_all_rules_run_in_cluster_scope(self):
+        assert set(rules_for_path(CLUSTER_PATH)) >= {
+            "REP301",
+            "REP302",
+            "REP303",
+        }
+
+    def test_rep304_is_core_scoped(self):
+        assert "REP304" in rules_for_path(CORE_PATH)
+        assert "REP304" not in rules_for_path(CLUSTER_PATH)
+
+    def test_out_of_scope_path_runs_nothing(self):
+        assert rules_for_path("src/repro/video/generator.py") == []
+
+    def test_noqa_suppresses(self):
+        src = """\
+        from repro.cluster.node import Node
+
+        def shutdown_one(spec, t):
+            node = Node(spec)
+            node.retire(t, "down")
+            node.step()  # noqa: REP301
+        """
+        assert not rules_hit(src)
+
+    def test_rule_table_is_complete(self):
+        assert set(PROTOCOL_RULES) == {
+            "REP301",
+            "REP302",
+            "REP303",
+            "REP304",
+        }
+
+
+# ---------------------------------------------------------------------------
+# 4. Dynamic half: the same bug classes on real objects, via SAN-G.
+
+
+class TestSanGDynamic:
+    def test_step_after_retire_caught(self, journal):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), now=0.0)
+        node.retire(1.0, DOWN)
+        try:
+            node.step()  # protocol violation; may also fail functionally
+        except Exception:
+            pass
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G1" and "step()" in v.message
+            for v in report.violations
+        )
+
+    def test_clock_rewind_caught(self, journal):
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), now=5.0)
+        # Simulate the pre-fix bug: a restart stamping the clock straight
+        # from its argument instead of pulling it monotonically.
+        node.service.now = 1.0
+        node.step()
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G1" and "clock ran backwards" in v.message
+            for v in report.violations
+        )
+
+    def test_dropped_dequeue_caught(self, journal):
+        # Saturate a one-node fleet so submissions park, then run a
+        # mutant drain that pops the head and drops it on the floor.
+        cluster = Cluster(
+            ClusterConfig(nodes=(NodeSpec("n0", max_queue=1),))
+        )
+        for i in range(12):
+            cluster.dispatcher.submit(
+                StreamSpec(f"s{i}", n_frames=2, fps_target=25.0), t=0.0
+            )
+        assert cluster.dispatcher.depth > 0
+        from repro.sanitizers.protocols.journal import record as _journal
+
+        d = cluster.dispatcher
+        head = d.queue.popleft()
+        _journal(d, "dequeue", d.now, detail=head.stream_id)
+        # ... and no disposition ever happens.
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G2" and "dequeue-disposition" in v.message
+            for v in report.violations
+        )
+
+    def test_clean_fleet_run_passes(self, journal):
+        wl = [StreamSpec(f"s{i}", n_frames=2, fps_target=25.0) for i in range(4)]
+        cluster = Cluster(
+            ClusterConfig(nodes=(NodeSpec("n0"), NodeSpec("n1")))
+        )
+        cluster.run(wl)
+        events = journal.drain()
+        assert events  # the run was journaled
+        report = check_events(events)
+        assert report.clean, report.summary()
+
+
+# ---------------------------------------------------------------------------
+# 5. Agreement pins: one mutant per rule, caught by BOTH halves.
+
+
+class TestAgreement:
+    """The declarative spec drives lint and monitor identically."""
+
+    def test_rep301_and_san_g1_agree_on_retired_node(self, journal):
+        mutant = """\
+        from repro.cluster.node import Node
+
+        def shutdown_one(spec, t):
+            node = Node(spec)
+            node.retire(t, "down")
+            node.step()
+        """
+        assert "REP301" in rules_hit(mutant, only=["REP301"])
+
+        node = make_node()
+        node.retire(0.0, DOWN)
+        try:
+            node.step()
+        except Exception:
+            pass
+        report = check_events(journal.drain())
+        assert any(v.rule == "SAN-G1" for v in report.violations)
+
+    def test_rep302_and_san_g1_agree_on_clock_rewind(self, journal):
+        mutant = """\
+        class EncodingService:
+            def restart(self, start_s):
+                self.now = start_s
+        """
+        assert "REP302" in rules_hit(mutant, only=["REP302"])
+
+        # Dynamic twin: the same bug shape on a real node — a restart
+        # stamping the clock from its argument instead of max()-pulling.
+        node = make_node()
+        node.offer(StreamSpec("a", n_frames=2), now=5.0)
+        node.service.now = 1.0
+        node.step()
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G1" and "clock ran backwards" in v.message
+            for v in report.violations
+        )
+
+    def test_rep303_and_san_g2_agree_on_dropped_dequeue(self, journal):
+        mutant = """\
+        class Dispatcher:
+            def drain(self, t):
+                while self.queue:
+                    head = self.queue.popleft()
+                    node = self.pick(head)
+                    if node is None:
+                        return 0
+                    self._place(head, node, t)
+        """
+        assert "REP303" in rules_hit(mutant, only=["REP303"])
+
+        # Dynamic twin: a real dispatcher pops a parked stream and
+        # never disposes of it.
+        cluster = Cluster(
+            ClusterConfig(nodes=(NodeSpec("n0", max_queue=1),))
+        )
+        for i in range(12):
+            cluster.dispatcher.submit(
+                StreamSpec(f"s{i}", n_frames=2, fps_target=25.0), t=0.0
+            )
+        from repro.sanitizers.protocols.journal import record as _journal
+
+        d = cluster.dispatcher
+        head = d.queue.popleft()
+        _journal(d, "dequeue", d.now, detail=head.stream_id)
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G2" and "dequeue-disposition" in v.message
+            for v in report.violations
+        )
+
+    def test_rep304_and_san_g2_agree_on_stale_solve(self, journal, monkeypatch):
+        mutant = """\
+        class FevesFramework:
+            def readmit(self, name):
+                self._live[name] = True
+                return self.balancer.solve(self.perf)
+        """
+        assert "REP304" in rules_hit(mutant, only=["REP304"], path=CORE_PATH)
+
+        # Dynamic twin: disable the invalidation hook and run a fault
+        # that shrinks then regrows the live set — consecutive solves
+        # over different live sets with no invalidate between them.
+        from repro.codec.config import CodecConfig
+        from repro.core.config import FrameworkConfig
+        from repro.core.framework import FevesFramework
+        from repro.core.load_balancing import LoadBalancer
+        from repro.hw.noise import FaultEvent, FaultSchedule
+        from repro.hw.presets import get_platform
+
+        monkeypatch.setattr(
+            LoadBalancer, "note_live_set_change", lambda self: None
+        )
+        fw = FevesFramework(
+            get_platform("SysHK"),
+            CodecConfig(width=1920, height=1088, search_range=16),
+            FrameworkConfig(
+                faults=FaultSchedule(
+                    [FaultEvent(frame=3, device="GPU_K", kind="hang", duration=2)]
+                )
+            ),
+        )
+        fw.run_model(8)
+        report = check_events(journal.drain())
+        assert any(
+            v.rule == "SAN-G2" and "invalidate-before-solve" in v.message
+            for v in report.violations
+        )
+
+    def test_clean_framework_run_satisfies_both(self, journal):
+        # The shipped source lints clean (the gate below) and a real
+        # faulted run journals clean: live-set changes are invalidated.
+        from repro.codec.config import CodecConfig
+        from repro.core.config import FrameworkConfig
+        from repro.core.framework import FevesFramework
+        from repro.hw.noise import FaultEvent, FaultSchedule
+        from repro.hw.presets import get_platform
+
+        fw = FevesFramework(
+            get_platform("SysHK"),
+            CodecConfig(width=1920, height=1088, search_range=16),
+            FrameworkConfig(
+                faults=FaultSchedule(
+                    [FaultEvent(frame=3, device="GPU_K", kind="hang", duration=2)]
+                )
+            ),
+        )
+        fw.run_model(8)
+        report = check_events(journal.drain())
+        assert report.clean, report.summary()
+
+
+# ---------------------------------------------------------------------------
+# 6. The gate: shipped sources pass every protocol rule.
+
+
+class TestShippedSourcesClean:
+    @pytest.mark.parametrize(
+        "pkg", ["core", "service", "cluster", "exec"]
+    )
+    def test_package_lints_clean(self, pkg):
+        from pathlib import Path
+
+        from repro.sanitizers.protocols import analyze_paths
+
+        root = Path(__file__).resolve().parents[2] / "src" / "repro" / pkg
+        violations, errors = analyze_paths([root])
+        assert not errors, errors
+        assert violations == [], [str(v) for v in violations]
